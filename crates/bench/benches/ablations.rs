@@ -1,0 +1,140 @@
+//! Ablations: the design choices DESIGN.md calls out.
+//!
+//! - multi-tree redundancy factor k (message cost per extra tree);
+//! - read write-back on vs off (cost of atomicity over regularity);
+//! - kernel throughput (events/second) as a substrate sanity metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_core::spec::register::RegOp;
+use dds_core::time::Time;
+use dds_net::generate;
+use dds_protocols::{DriverSpec, ProtocolKind, QueryScenario};
+use dds_registers::harness::run_schedule;
+use dds_registers::Construction;
+use std::hint::black_box;
+
+fn bench_multitree_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_multitree_k");
+    for k in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut s = QueryScenario::new(
+                    generate::torus(5, 5),
+                    ProtocolKind::MultiTree { ttl: 8, k },
+                );
+                s.deadline = Time::from_ticks(500);
+                s.driver = DriverSpec::Balanced {
+                    rate: 0.1,
+                    window: 10,
+                    crash_fraction: 0.3,
+                };
+                black_box(s.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_write_back(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_write_back");
+    let scripts = vec![
+        vec![RegOp::Write(1), RegOp::Write(2)],
+        vec![RegOp::Read; 4],
+        vec![RegOp::Read; 4],
+    ];
+    for (name, wb) in [("off", false), ("on", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &wb, |b, &wb| {
+            b.iter(|| {
+                black_box(run_schedule(
+                    Construction::MajorityQuorum { write_back: wb },
+                    2,
+                    &scripts,
+                    &[],
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_throughput(c: &mut Criterion) {
+    use dds_core::process::ProcessId;
+    use dds_sim::actor::{Actor, Context};
+    use dds_sim::world::WorldBuilder;
+
+    /// Each message hops to a random neighbor forever (until the deadline).
+    struct HotPotato;
+    impl Actor<u8> for HotPotato {
+        fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+            let n = ctx.neighbors().to_vec();
+            if let Some(&t) = ctx.rng().choose(&n) {
+                ctx.send(t, 0);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u8>, _: ProcessId, m: u8) {
+            let n = ctx.neighbors().to_vec();
+            if let Some(&t) = ctx.rng().choose(&n) {
+                ctx.send(t, m);
+            }
+        }
+    }
+
+    c.bench_function("kernel_200k_events", |b| {
+        b.iter(|| {
+            let mut w = WorldBuilder::new(1)
+                .initial_graph(generate::torus(10, 10))
+                .spawn(|_| Box::new(HotPotato))
+                .build();
+            // 100 potatoes bouncing for 2000 ticks ≈ 200k deliveries.
+            w.run_until(Time::from_ticks(2000));
+            black_box(w.metrics().delivers)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_multitree_k,
+    bench_write_back,
+    bench_kernel_throughput
+);
+
+mod register_bench {
+    use super::*;
+    use dds_core::time::TimeDelta;
+    use dds_protocols::register::{RegMsg, RegisterActor, RegisterConfig};
+    use dds_sim::world::{World, WorldBuilder};
+
+    /// One write + one read cycle of the churn-tolerant register on a
+    /// 3x3 torus (the E10 substrate).
+    pub fn bench_churn_register(c: &mut Criterion) {
+        c.bench_function("register_write_read_cycle", |b| {
+            b.iter(|| {
+                let config = RegisterConfig {
+                    ttl: 5,
+                    delta: TimeDelta::TICK,
+                };
+                let mut w: World<RegMsg> = WorldBuilder::new(1)
+                    .initial_graph(generate::torus(3, 3))
+                    .spawn(move |_| Box::new(RegisterActor::new(config)))
+                    .build();
+                w.inject(
+                    Time::from_ticks(1),
+                    dds_core::process::ProcessId::from_raw(0),
+                    RegMsg::Write { value: 42 },
+                );
+                w.inject(
+                    Time::from_ticks(20),
+                    dds_core::process::ProcessId::from_raw(4),
+                    RegMsg::Read,
+                );
+                w.run_until(Time::from_ticks(60));
+                black_box(w.metrics().sends)
+            })
+        });
+    }
+}
+
+criterion_group!(register_benches, register_bench::bench_churn_register);
+criterion_main!(benches, register_benches);

@@ -1,0 +1,39 @@
+//! E2 — one wave query under balanced churn, across churn rates.
+//!
+//! The validity *numbers* are recorded by `run_experiments e2`; this bench
+//! tracks the simulation cost of the churn frontier sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_core::time::Time;
+use dds_net::generate;
+use dds_protocols::{DriverSpec, ProtocolKind, QueryScenario};
+use std::hint::black_box;
+
+fn bench_churny_wave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_churny_wave");
+    for rate in [0.05f64, 0.2, 0.4] {
+        group.bench_with_input(
+            BenchmarkId::new("torus5x5", format!("{rate}")),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let mut s = QueryScenario::new(
+                        generate::torus(5, 5),
+                        ProtocolKind::FloodEcho { ttl: 8 },
+                    );
+                    s.deadline = Time::from_ticks(500);
+                    s.driver = DriverSpec::Balanced {
+                        rate,
+                        window: 10,
+                        crash_fraction: 0.3,
+                    };
+                    black_box(s.run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churny_wave);
+criterion_main!(benches);

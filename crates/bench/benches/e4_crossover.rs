@@ -1,0 +1,37 @@
+//! E4 — protocol family cost comparison under identical churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_core::spec::aggregate::AggregateKind;
+use dds_core::time::Time;
+use dds_net::generate;
+use dds_protocols::{DriverSpec, ProtocolKind, QueryScenario};
+use std::hint::black_box;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_protocols_under_churn");
+    let protocols = [
+        ("flood_echo", ProtocolKind::FloodEcho { ttl: 8 }),
+        ("single_tree", ProtocolKind::SingleTree { ttl: 8 }),
+        ("multi_tree4", ProtocolKind::MultiTree { ttl: 8, k: 4 }),
+        ("push_sum40", ProtocolKind::Gossip { rounds: 40 }),
+    ];
+    for (name, protocol) in protocols {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &protocol, |b, &p| {
+            b.iter(|| {
+                let mut s = QueryScenario::new(generate::torus(5, 5), p);
+                s.aggregate = AggregateKind::Average;
+                s.deadline = Time::from_ticks(600);
+                s.driver = DriverSpec::Balanced {
+                    rate: 0.1,
+                    window: 10,
+                    crash_fraction: 0.3,
+                };
+                black_box(s.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

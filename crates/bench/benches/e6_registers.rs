@@ -1,0 +1,64 @@
+//! E6 — register self-implementation cost: one read/write workload per
+//! construction and tolerance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_core::spec::register::RegOp;
+use dds_registers::harness::run_schedule;
+use dds_registers::Construction;
+use std::hint::black_box;
+
+fn workload() -> Vec<Vec<RegOp>> {
+    vec![
+        vec![RegOp::Write(1), RegOp::Write(2), RegOp::Write(3), RegOp::Write(4)],
+        vec![RegOp::Read; 4],
+        vec![RegOp::Read; 4],
+    ]
+}
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_register_constructions");
+    for t in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("responsive_t_plus_1", t), &t, |b, &t| {
+            let scripts = workload();
+            b.iter(|| {
+                black_box(run_schedule(
+                    Construction::ResponsiveAll { write_back: true },
+                    t,
+                    &scripts,
+                    &[],
+                    1,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("majority_2t_plus_1", t), &t, |b, &t| {
+            let scripts = workload();
+            b.iter(|| {
+                black_box(run_schedule(
+                    Construction::MajorityQuorum { write_back: true },
+                    t,
+                    &scripts,
+                    &[],
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_linearizability_checker(c: &mut Criterion) {
+    use dds_core::spec::register::check_atomic;
+    let out = run_schedule(
+        Construction::MajorityQuorum { write_back: true },
+        2,
+        &workload(),
+        &[],
+        3,
+    );
+    c.bench_function("e6_check_atomic_12ops", |b| {
+        b.iter(|| black_box(check_atomic(&out.history).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_constructions, bench_linearizability_checker);
+criterion_main!(benches);

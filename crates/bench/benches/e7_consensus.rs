@@ -1,0 +1,20 @@
+//! E7 — consensus self-implementation cost vs tolerance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_registers::consensus::run_consensus;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_consensus");
+    let proposals = [1u64, 2, 3, 4, 5, 6, 7, 8];
+    for t in [1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("responsive", t), &t, |b, &t| {
+            b.iter(|| black_box(run_consensus(t, &proposals, &BTreeMap::new(), 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Prints the experiment tables recorded in EXPERIMENTS.md.
+//!
+//! Usage: `run_experiments [e1 e2 … a2 | all]` (default: all).
+
+use dds_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let mut ran = 0;
+    for (id, build) in registry() {
+        if !want_all && !args.iter().any(|a| a == id) {
+            continue;
+        }
+        let e = build();
+        println!("== {} — {}\n", e.id, e.title);
+        println!("{}", e.table);
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment ids; known: e1..e10, a1..a4, all");
+        std::process::exit(2);
+    }
+    println!("(seeds fixed; rerunning reproduces these tables bit-for-bit)");
+}

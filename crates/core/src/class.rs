@@ -1,0 +1,260 @@
+//! The system-class lattice: the paper's proposed *definition* of a dynamic
+//! distributed system.
+//!
+//! A [`SystemClass`] is a point in the product of the four dimensions:
+//! arrival × geography × timing × process failures. The refinement order
+//! ([`SystemClass::refines`]) is the product order; a problem solvable in a
+//! class is solvable in every class that refines it, and a problem
+//! unsolvable in a class is unsolvable in every class it refines. The named
+//! constructors (`c1_static` … `c7_partitionable`) are the classes from the
+//! solvability landscape in DESIGN.md.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::ArrivalModel;
+use crate::failure::ProcessFailure;
+use crate::knowledge::{Connectivity, DiameterBound, Geography, Knowledge};
+use crate::time::TimeDelta;
+use crate::timing::Timing;
+
+/// A system class: one cell of the paper's two-dimensional (plus timing and
+/// failures) classification.
+///
+/// # Examples
+///
+/// ```
+/// use dds_core::class::SystemClass;
+///
+/// let stat = SystemClass::c1_static(64);
+/// let dynamic = SystemClass::c3_bounded_dynamic(64, 8);
+/// assert!(stat.refines(&dynamic));
+/// assert!(!dynamic.refines(&stat));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemClass {
+    /// Arrival dimension.
+    pub arrival: ArrivalModel,
+    /// Geography/knowledge dimension.
+    pub geography: Geography,
+    /// Timing dimension.
+    pub timing: Timing,
+    /// Process failure model.
+    pub failures: ProcessFailure,
+}
+
+impl SystemClass {
+    /// Builds a class from its four dimensions.
+    pub const fn new(
+        arrival: ArrivalModel,
+        geography: Geography,
+        timing: Timing,
+        failures: ProcessFailure,
+    ) -> Self {
+        SystemClass {
+            arrival,
+            geography,
+            timing,
+            failures,
+        }
+    }
+
+    /// The default synchronous delay bound used by the named classes.
+    const DELTA: TimeDelta = TimeDelta::ticks(1);
+
+    /// C1 — the classical static system: `n` known processes, complete
+    /// knowledge, synchronous, crash-free.
+    pub const fn c1_static(n: usize) -> Self {
+        SystemClass {
+            arrival: ArrivalModel::FiniteKnown { n },
+            geography: Geography::complete(),
+            timing: Timing::Synchronous { delta: Self::DELTA },
+            failures: ProcessFailure::None,
+        }
+    }
+
+    /// C2 — finite arrival, unknown size, neighborhood knowledge with a
+    /// known diameter bound `d`, synchronous, always connected.
+    pub const fn c2_finite_arrival(d: usize) -> Self {
+        SystemClass {
+            arrival: ArrivalModel::FiniteUnknown,
+            geography: Geography::bounded_neighborhood(d),
+            timing: Timing::Synchronous { delta: Self::DELTA },
+            failures: ProcessFailure::None,
+        }
+    }
+
+    /// C3 — infinite arrival with concurrency bound `b`, diameter bound `d`,
+    /// synchronous, always connected: the strongest genuinely *dynamic*
+    /// class, in which the one-time query is still solvable.
+    pub const fn c3_bounded_dynamic(b: usize, d: usize) -> Self {
+        SystemClass {
+            arrival: ArrivalModel::InfiniteBounded { b },
+            geography: Geography::bounded_neighborhood(d),
+            timing: Timing::Synchronous { delta: Self::DELTA },
+            failures: ProcessFailure::None,
+        }
+    }
+
+    /// C4 — like C3 but with no diameter bound: the adversary can grow the
+    /// knowledge graph faster than any wave travels (experiment E5).
+    pub const fn c4_unbounded_diameter(b: usize) -> Self {
+        SystemClass {
+            arrival: ArrivalModel::InfiniteBounded { b },
+            geography: Geography::new(
+                Knowledge::Neighborhood,
+                DiameterBound::Unbounded,
+                Connectivity::AlwaysConnected,
+            ),
+            timing: Timing::Synchronous { delta: Self::DELTA },
+            failures: ProcessFailure::None,
+        }
+    }
+
+    /// C5 — unbounded concurrency: the fully dynamic arrival model.
+    pub const fn c5_unbounded_concurrency(d: usize) -> Self {
+        SystemClass {
+            arrival: ArrivalModel::InfiniteUnbounded,
+            geography: Geography::bounded_neighborhood(d),
+            timing: Timing::Synchronous { delta: Self::DELTA },
+            failures: ProcessFailure::None,
+        }
+    }
+
+    /// C6 — a dynamic system with no timing assumptions: departures cannot
+    /// be told apart from slowness, so bounded-termination queries fail.
+    pub const fn c6_asynchronous(b: usize, d: usize) -> Self {
+        SystemClass {
+            arrival: ArrivalModel::InfiniteBounded { b },
+            geography: Geography::bounded_neighborhood(d),
+            timing: Timing::Asynchronous,
+            failures: ProcessFailure::None,
+        }
+    }
+
+    /// C7 — a dynamic system whose stable part may stay partitioned.
+    pub const fn c7_partitionable(b: usize, d: usize) -> Self {
+        SystemClass {
+            arrival: ArrivalModel::InfiniteBounded { b },
+            geography: Geography::new(
+                Knowledge::Neighborhood,
+                DiameterBound::Bounded(d),
+                Connectivity::Arbitrary,
+            ),
+            timing: Timing::Synchronous { delta: Self::DELTA },
+            failures: ProcessFailure::None,
+        }
+    }
+
+    /// `true` when every run allowed by `self` is allowed by `other`
+    /// (product order over the four dimensions).
+    pub fn refines(&self, other: &SystemClass) -> bool {
+        self.arrival.refines(&other.arrival)
+            && self.geography.refines(&other.geography)
+            && self.timing.refines(&other.timing)
+            && self.failures.refines(&other.failures)
+    }
+
+    /// `true` when the class describes a *dynamic* system in the paper's
+    /// sense: entities may arrive after the start or knowledge is only
+    /// local.
+    pub fn is_dynamic(&self) -> bool {
+        !self.arrival.is_static() || self.geography.knowledge == Knowledge::Neighborhood
+    }
+
+    /// All seven named classes, instantiated with representative parameters.
+    /// Used by the E8 experiment to sweep the whole landscape.
+    pub fn named_landscape() -> Vec<(&'static str, SystemClass)> {
+        vec![
+            ("C1", SystemClass::c1_static(64)),
+            ("C2", SystemClass::c2_finite_arrival(8)),
+            ("C3", SystemClass::c3_bounded_dynamic(64, 8)),
+            ("C4", SystemClass::c4_unbounded_diameter(64)),
+            ("C5", SystemClass::c5_unbounded_concurrency(8)),
+            ("C6", SystemClass::c6_asynchronous(64, 8)),
+            ("C7", SystemClass::c7_partitionable(64, 8)),
+        ]
+    }
+}
+
+impl fmt::Display for SystemClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} | {} | {} | {}]",
+            self.arrival, self.geography, self.timing, self.failures
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_refines_every_named_dynamic_class_with_matching_params() {
+        // C1 does not literally refine C3 (different arrival parameters are
+        // incomparable for FiniteKnown), but a static run *is* admitted by
+        // C3's arrival model when n <= b; check the geography/timing parts.
+        let c1 = SystemClass::c1_static(64);
+        let c3 = SystemClass::c3_bounded_dynamic(64, 8);
+        assert!(c1.geography.refines(&c3.geography));
+        assert!(c1.timing.refines(&c3.timing));
+        assert!(c1.refines(&c3));
+    }
+
+    #[test]
+    fn refinement_is_reflexive_on_the_landscape() {
+        for (_, c) in SystemClass::named_landscape() {
+            assert!(c.refines(&c));
+        }
+    }
+
+    #[test]
+    fn c3_refines_c4_and_c5() {
+        let c3 = SystemClass::c3_bounded_dynamic(64, 8);
+        let c4 = SystemClass::c4_unbounded_diameter(64);
+        let c5 = SystemClass::c5_unbounded_concurrency(8);
+        assert!(c3.refines(&c4), "bounded diameter refines unbounded");
+        assert!(c3.refines(&c5), "bounded concurrency refines unbounded");
+        assert!(!c4.refines(&c3));
+        assert!(!c5.refines(&c3));
+    }
+
+    #[test]
+    fn c3_refines_c6_and_c7() {
+        let c3 = SystemClass::c3_bounded_dynamic(64, 8);
+        assert!(c3.refines(&SystemClass::c6_asynchronous(64, 8)));
+        assert!(c3.refines(&SystemClass::c7_partitionable(64, 8)));
+    }
+
+    #[test]
+    fn dynamicity_predicate() {
+        assert!(!SystemClass::c1_static(8).is_dynamic());
+        for (name, c) in SystemClass::named_landscape() {
+            if name != "C1" {
+                assert!(c.is_dynamic(), "{name} should be dynamic");
+            }
+        }
+    }
+
+    #[test]
+    fn landscape_has_seven_distinct_classes() {
+        let classes = SystemClass::named_landscape();
+        assert_eq!(classes.len(), 7);
+        for (i, (_, a)) in classes.iter().enumerate() {
+            for (_, b) in classes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_concatenates_dimensions() {
+        let s = SystemClass::c3_bounded_dynamic(4, 2).to_string();
+        assert!(s.contains("M^inf_b"));
+        assert!(s.contains("diameter <= 2"));
+        assert!(s.contains("synchronous"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Failure models, for processes and for base objects.
+//!
+//! Two distinct layers fail in this reproduction:
+//!
+//! - **Processes** in the dynamic system ([`ProcessFailure`]): besides
+//!   voluntarily leaving (churn), a process may crash. The paper treats a
+//!   departure and a crash uniformly from the observers' viewpoint — the
+//!   entity stops participating — but a *graceful* leave may notify
+//!   neighbors while a crash never does.
+//! - **Base objects** in the reliable-object constructions
+//!   ([`ObjectFailure`], after Guerraoui & Raynal): a *responsive* crash
+//!   makes every subsequent operation return the default value `⊥` (the
+//!   caller learns about the failure), while a *nonresponsive* crash makes
+//!   operations never return (the caller cannot distinguish a crashed object
+//!   from a slow one). The distinction drives the `t+1` vs `2t+1` resource
+//!   bounds and the consensus impossibility reproduced in `dds-registers`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How processes of the dynamic system may stop participating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessFailure {
+    /// Processes never crash; they only leave gracefully (pure churn).
+    None,
+    /// Processes may crash-stop without warning, in addition to leaving.
+    CrashStop,
+}
+
+impl ProcessFailure {
+    /// `true` when crashes are possible.
+    pub const fn crashes_possible(&self) -> bool {
+        matches!(self, ProcessFailure::CrashStop)
+    }
+
+    /// `true` when every run allowed by `self` is allowed by `other`.
+    pub fn refines(&self, other: &ProcessFailure) -> bool {
+        match (self, other) {
+            (ProcessFailure::None, _) => true,
+            (ProcessFailure::CrashStop, ProcessFailure::CrashStop) => true,
+            (ProcessFailure::CrashStop, ProcessFailure::None) => false,
+        }
+    }
+}
+
+impl fmt::Display for ProcessFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessFailure::None => write!(f, "no crashes (graceful churn only)"),
+            ProcessFailure::CrashStop => write!(f, "crash-stop"),
+        }
+    }
+}
+
+/// How base objects fail in the reliable-object constructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectFailure {
+    /// The object never fails.
+    None,
+    /// Responsive crash: after the crash, every operation immediately
+    /// returns the default value `⊥`.
+    ResponsiveCrash,
+    /// Nonresponsive crash: after the crash, operations never return.
+    NonresponsiveCrash,
+}
+
+impl ObjectFailure {
+    /// Minimum number of base objects needed to mask `t` failures of this
+    /// kind for register self-implementations (Guerraoui–Raynal):
+    /// `t + 1` when crashes are responsive, `2t + 1` when nonresponsive,
+    /// `1` when objects are reliable.
+    pub const fn registers_needed(&self, t: usize) -> usize {
+        match self {
+            ObjectFailure::None => 1,
+            ObjectFailure::ResponsiveCrash => t + 1,
+            ObjectFailure::NonresponsiveCrash => 2 * t + 1,
+        }
+    }
+
+    /// Whether consensus is self-implementable (wait-free, tolerating `t >=
+    /// 1` failures) from base objects failing this way. `true` for
+    /// responsive crashes (use `t+1` objects sequentially); `false` for
+    /// nonresponsive crashes — the impossibility reproduced by experiment
+    /// E7.
+    pub const fn consensus_self_implementable(&self) -> bool {
+        match self {
+            ObjectFailure::None | ObjectFailure::ResponsiveCrash => true,
+            ObjectFailure::NonresponsiveCrash => false,
+        }
+    }
+}
+
+impl fmt::Display for ObjectFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectFailure::None => write!(f, "reliable"),
+            ObjectFailure::ResponsiveCrash => write!(f, "responsive crash"),
+            ObjectFailure::NonresponsiveCrash => write!(f, "nonresponsive crash"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_failure_refinement() {
+        assert!(ProcessFailure::None.refines(&ProcessFailure::CrashStop));
+        assert!(!ProcessFailure::CrashStop.refines(&ProcessFailure::None));
+        assert!(ProcessFailure::CrashStop.refines(&ProcessFailure::CrashStop));
+    }
+
+    #[test]
+    fn crashes_possible_only_under_crash_stop() {
+        assert!(!ProcessFailure::None.crashes_possible());
+        assert!(ProcessFailure::CrashStop.crashes_possible());
+    }
+
+    #[test]
+    fn resource_bounds_match_the_paper() {
+        for t in 0..10 {
+            assert_eq!(ObjectFailure::None.registers_needed(t), 1);
+            assert_eq!(ObjectFailure::ResponsiveCrash.registers_needed(t), t + 1);
+            assert_eq!(
+                ObjectFailure::NonresponsiveCrash.registers_needed(t),
+                2 * t + 1
+            );
+        }
+    }
+
+    #[test]
+    fn consensus_impossibility_under_nonresponsive_crash() {
+        assert!(ObjectFailure::ResponsiveCrash.consensus_self_implementable());
+        assert!(!ObjectFailure::NonresponsiveCrash.consensus_self_implementable());
+    }
+}

@@ -1,0 +1,297 @@
+//! The **geography / knowledge dimension** of dynamicity.
+//!
+//! The paper's second axis is orthogonal to arrivals: *each entity knows only
+//! a few other entities (its neighbors) and possibly will never be able to
+//! know the whole system it is a member of*. We decompose the axis into three
+//! parameters:
+//!
+//! - [`Knowledge`]: does a process know the whole membership
+//!   ([`Knowledge::Complete`]) or only a local neighborhood
+//!   ([`Knowledge::Neighborhood`])?
+//! - [`DiameterBound`]: is the diameter of the knowledge graph bounded by a
+//!   constant known to the protocol, or unbounded?
+//! - [`Connectivity`]: is the *stable part* of the system (the processes that
+//!   stay throughout an operation) guaranteed to remain connected?
+//!
+//! The combination is a [`Geography`]. Its partial order
+//! ([`Geography::refines`]) mirrors the arrival dimension: a protocol correct
+//! under weaker knowledge works under stronger knowledge.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What a process may know about the current membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Knowledge {
+    /// Every process knows the identity of every process currently in the
+    /// system (the classical static assumption).
+    Complete,
+    /// A process knows only its neighbors in the knowledge graph; it may
+    /// never learn the full membership.
+    Neighborhood,
+}
+
+impl Knowledge {
+    /// `true` when every run allowed by `self` is allowed by `other`
+    /// (complete knowledge is the special case of neighborhood knowledge
+    /// where the graph is complete).
+    pub fn refines(&self, other: &Knowledge) -> bool {
+        match (self, other) {
+            (Knowledge::Complete, _) => true,
+            (Knowledge::Neighborhood, Knowledge::Neighborhood) => true,
+            (Knowledge::Neighborhood, Knowledge::Complete) => false,
+        }
+    }
+}
+
+impl fmt::Display for Knowledge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Knowledge::Complete => write!(f, "complete knowledge"),
+            Knowledge::Neighborhood => write!(f, "neighborhood knowledge"),
+        }
+    }
+}
+
+/// Whether the protocol may rely on an a-priori bound on the diameter of the
+/// knowledge graph.
+///
+/// A bounded diameter is what lets a wave protocol pick a TTL; without it no
+/// finite TTL reaches every stable process (experiment E5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiameterBound {
+    /// The diameter never exceeds `d`, and `d` is known to the protocol.
+    Bounded(usize),
+    /// No bound is known (or none exists).
+    Unbounded,
+}
+
+impl DiameterBound {
+    /// The known bound, if any.
+    pub const fn bound(&self) -> Option<usize> {
+        match self {
+            DiameterBound::Bounded(d) => Some(*d),
+            DiameterBound::Unbounded => None,
+        }
+    }
+
+    /// `true` when every graph allowed by `self` is allowed by `other`.
+    pub fn refines(&self, other: &DiameterBound) -> bool {
+        match (self, other) {
+            (DiameterBound::Bounded(a), DiameterBound::Bounded(b)) => a <= b,
+            (DiameterBound::Bounded(_), DiameterBound::Unbounded) => true,
+            (DiameterBound::Unbounded, DiameterBound::Bounded(_)) => false,
+            (DiameterBound::Unbounded, DiameterBound::Unbounded) => true,
+        }
+    }
+}
+
+impl fmt::Display for DiameterBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiameterBound::Bounded(d) => write!(f, "diameter <= {d}"),
+            DiameterBound::Unbounded => write!(f, "unbounded diameter"),
+        }
+    }
+}
+
+/// Connectivity guarantee on the knowledge graph restricted to the *stable*
+/// processes (those present during the whole operation of interest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// At every instant, the stable processes form a connected subgraph and
+    /// every stable process is reachable from every other through
+    /// currently-up processes.
+    AlwaysConnected,
+    /// Connectivity may be transiently lost but is eventually restored and
+    /// then holds long enough for information to propagate.
+    EventuallyConnected,
+    /// No guarantee: the adversary may partition the stable part forever.
+    Arbitrary,
+}
+
+impl Connectivity {
+    /// Permissiveness rank: higher admits more runs.
+    pub const fn rank(&self) -> u8 {
+        match self {
+            Connectivity::AlwaysConnected => 0,
+            Connectivity::EventuallyConnected => 1,
+            Connectivity::Arbitrary => 2,
+        }
+    }
+
+    /// `true` when every run allowed by `self` is allowed by `other`.
+    pub fn refines(&self, other: &Connectivity) -> bool {
+        self.rank() <= other.rank()
+    }
+}
+
+impl fmt::Display for Connectivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Connectivity::AlwaysConnected => write!(f, "always connected"),
+            Connectivity::EventuallyConnected => write!(f, "eventually connected"),
+            Connectivity::Arbitrary => write!(f, "arbitrary connectivity"),
+        }
+    }
+}
+
+/// The full geography/knowledge dimension of a system class.
+///
+/// # Examples
+///
+/// ```
+/// use dds_core::knowledge::{Connectivity, DiameterBound, Geography, Knowledge};
+///
+/// let p2p = Geography::new(
+///     Knowledge::Neighborhood,
+///     DiameterBound::Bounded(12),
+///     Connectivity::AlwaysConnected,
+/// );
+/// // Complete knowledge (a complete graph, diameter 1) refines any
+/// // connected neighborhood geography …
+/// assert!(Geography::complete().refines(&p2p));
+/// // … but not the other way around.
+/// assert!(!p2p.refines(&Geography::complete()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geography {
+    /// Membership knowledge available to each process.
+    pub knowledge: Knowledge,
+    /// A-priori diameter information.
+    pub diameter: DiameterBound,
+    /// Connectivity guarantee over the stable part.
+    pub connectivity: Connectivity,
+}
+
+impl Geography {
+    /// Builds a geography from its three parameters.
+    pub const fn new(
+        knowledge: Knowledge,
+        diameter: DiameterBound,
+        connectivity: Connectivity,
+    ) -> Self {
+        Geography {
+            knowledge,
+            diameter,
+            connectivity,
+        }
+    }
+
+    /// The classical static-system geography: complete knowledge, i.e. a
+    /// complete graph (diameter 1), always connected.
+    ///
+    /// Note this deliberately does *not* bound the diameter to 1 in the
+    /// `diameter` field — with complete knowledge the knowledge graph is
+    /// complete, so `Bounded(1)` is implied and recorded as such.
+    pub const fn complete() -> Self {
+        Geography {
+            knowledge: Knowledge::Complete,
+            diameter: DiameterBound::Bounded(1),
+            connectivity: Connectivity::AlwaysConnected,
+        }
+    }
+
+    /// A neighborhood geography with a known diameter bound and persistent
+    /// connectivity — the weakest geography in which the paper's wave
+    /// protocol still solves the one-time query.
+    pub const fn bounded_neighborhood(d: usize) -> Self {
+        Geography {
+            knowledge: Knowledge::Neighborhood,
+            diameter: DiameterBound::Bounded(d),
+            connectivity: Connectivity::AlwaysConnected,
+        }
+    }
+
+    /// The fully adversarial geography: local views only, no diameter bound,
+    /// no connectivity guarantee.
+    pub const fn adversarial() -> Self {
+        Geography {
+            knowledge: Knowledge::Neighborhood,
+            diameter: DiameterBound::Unbounded,
+            connectivity: Connectivity::Arbitrary,
+        }
+    }
+
+    /// `true` when every run allowed by `self` is allowed by `other`
+    /// (component-wise refinement).
+    pub fn refines(&self, other: &Geography) -> bool {
+        self.knowledge.refines(&other.knowledge)
+            && self.diameter.refines(&other.diameter)
+            && self.connectivity.refines(&other.connectivity)
+    }
+}
+
+impl fmt::Display for Geography {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}, {}, {}",
+            self.knowledge, self.diameter, self.connectivity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knowledge_refinement() {
+        assert!(Knowledge::Complete.refines(&Knowledge::Neighborhood));
+        assert!(Knowledge::Complete.refines(&Knowledge::Complete));
+        assert!(Knowledge::Neighborhood.refines(&Knowledge::Neighborhood));
+        assert!(!Knowledge::Neighborhood.refines(&Knowledge::Complete));
+    }
+
+    #[test]
+    fn diameter_refinement() {
+        assert!(DiameterBound::Bounded(3).refines(&DiameterBound::Bounded(5)));
+        assert!(!DiameterBound::Bounded(5).refines(&DiameterBound::Bounded(3)));
+        assert!(DiameterBound::Bounded(100).refines(&DiameterBound::Unbounded));
+        assert!(!DiameterBound::Unbounded.refines(&DiameterBound::Bounded(100)));
+        assert_eq!(DiameterBound::Bounded(4).bound(), Some(4));
+        assert_eq!(DiameterBound::Unbounded.bound(), None);
+    }
+
+    #[test]
+    fn connectivity_chain() {
+        let chain = [
+            Connectivity::AlwaysConnected,
+            Connectivity::EventuallyConnected,
+            Connectivity::Arbitrary,
+        ];
+        for w in chain.windows(2) {
+            assert!(w[0].refines(&w[1]));
+            assert!(!w[1].refines(&w[0]));
+        }
+    }
+
+    #[test]
+    fn geography_refinement_is_componentwise() {
+        let strong = Geography::bounded_neighborhood(4);
+        let weak = Geography::adversarial();
+        assert!(strong.refines(&weak));
+        assert!(!weak.refines(&strong));
+        // Reflexivity.
+        assert!(strong.refines(&strong));
+        assert!(weak.refines(&weak));
+    }
+
+    #[test]
+    fn complete_geography_has_diameter_one() {
+        let g = Geography::complete();
+        assert_eq!(g.diameter, DiameterBound::Bounded(1));
+        assert!(g.refines(&Geography::bounded_neighborhood(1)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = Geography::bounded_neighborhood(6);
+        let s = g.to_string();
+        assert!(s.contains("neighborhood"));
+        assert!(s.contains("6"));
+        assert!(s.contains("connected"));
+    }
+}

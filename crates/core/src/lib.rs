@@ -1,0 +1,59 @@
+//! # dds-core — a model of dynamic distributed systems
+//!
+//! This crate is the formal heart of the workspace: it encodes the
+//! definition of dynamic distributed systems proposed by Baldoni, Bertier,
+//! Raynal and Tucci-Piergiovanni in *"Looking for a Definition of Dynamic
+//! Distributed Systems"* (PaCT 2007).
+//!
+//! The paper's thesis is that dynamicity has two orthogonal dimensions:
+//!
+//! 1. **Arrival** ([`arrival`]) — how the set of participating entities
+//!    evolves: from a fixed known membership to infinite arrival with
+//!    unbounded concurrency, with quantitative churn regimes in [`churn`].
+//! 2. **Geography / knowledge** ([`knowledge`]) — what each entity can know
+//!    about the others: complete membership vs a local neighborhood, with
+//!    or without diameter and connectivity guarantees.
+//!
+//! Together with the classical timing ([`timing`]) and failure
+//! ([`failure`]) dimensions, a point in the product is a [`class::SystemClass`];
+//! the refinement partial order over classes organizes the solvability
+//! results. Runs of a system are recorded as traces ([`run`]), problems are
+//! predicates over traces and histories ([`spec`]), and the paper's
+//! conclusions are executable in [`solvability`].
+//!
+//! ## Example
+//!
+//! ```
+//! use dds_core::class::SystemClass;
+//! use dds_core::solvability::{one_time_query, Solvability};
+//!
+//! // A p2p overlay with at most 128 simultaneous members, diameter <= 10:
+//! let class = SystemClass::c3_bounded_dynamic(128, 10);
+//! assert_eq!(one_time_query(&class), Solvability::Solvable);
+//!
+//! // Remove the diameter bound and the query becomes unsolvable:
+//! let class = SystemClass::c4_unbounded_diameter(128);
+//! assert!(!one_time_query(&class).is_solvable());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arrival;
+pub mod churn;
+pub mod class;
+pub mod failure;
+pub mod knowledge;
+pub mod process;
+pub mod rng;
+pub mod run;
+pub mod solvability;
+pub mod spec;
+pub mod time;
+pub mod timing;
+
+pub use arrival::ArrivalModel;
+pub use class::SystemClass;
+pub use process::ProcessId;
+pub use run::{Trace, TraceEvent};
+pub use time::{Interval, Time, TimeDelta};

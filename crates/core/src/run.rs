@@ -1,0 +1,518 @@
+//! Runs and traces.
+//!
+//! A *run* of a dynamic system is a sequence of observable events: entities
+//! joining, leaving and crashing, messages being sent and delivered, queries
+//! starting and completing. Specifications ([`crate::spec`]) are predicates
+//! over traces, so the trace is the ground truth every checker works from.
+//!
+//! Because identities are never reused ([`crate::process::IdSource`]), each
+//! process has exactly one *presence interval*; [`PresenceMap`] indexes them
+//! and answers the membership questions the one-time-query validity
+//! predicate needs: who was present throughout an interval, who was present
+//! at some point of it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::RunArrivalStats;
+use crate::churn::ChurnSummary;
+use crate::process::ProcessId;
+use crate::time::{Interval, Time};
+
+/// One observable event of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A fresh entity entered the system.
+    Join {
+        /// The entity.
+        pid: ProcessId,
+        /// When it joined.
+        at: Time,
+    },
+    /// An entity left gracefully.
+    Leave {
+        /// The entity.
+        pid: ProcessId,
+        /// When it left.
+        at: Time,
+    },
+    /// An entity crashed (left without notice).
+    Crash {
+        /// The entity.
+        pid: ProcessId,
+        /// When it crashed.
+        at: Time,
+    },
+    /// A message was handed to the network.
+    Send {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Send instant.
+        at: Time,
+    },
+    /// A message was delivered to its destination.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Delivery instant.
+        at: Time,
+    },
+    /// A message was dropped by the network (loss or departed destination).
+    Drop {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Drop instant.
+        at: Time,
+    },
+}
+
+impl TraceEvent {
+    /// The instant at which the event occurred.
+    pub const fn at(&self) -> Time {
+        match self {
+            TraceEvent::Join { at, .. }
+            | TraceEvent::Leave { at, .. }
+            | TraceEvent::Crash { at, .. }
+            | TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Drop { at, .. } => *at,
+        }
+    }
+}
+
+/// The recorded history of one run.
+///
+/// Events are appended in nondecreasing time order; [`Trace::push`] enforces
+/// the ordering so checkers can rely on it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    /// Declared intent of the generating churn driver (finite simulations
+    /// only witness prefixes; see [`RunArrivalStats`]).
+    arrivals_intended_finite: bool,
+    concurrency_intended_finite: bool,
+}
+
+impl Trace {
+    /// Creates an empty trace whose generator promises finitely many
+    /// arrivals and finite concurrency (the common case for tests).
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            arrivals_intended_finite: true,
+            concurrency_intended_finite: true,
+        }
+    }
+
+    /// Declares the intent of the generating driver, used by
+    /// [`Trace::arrival_stats`] to fill the `*_finite` flags.
+    pub fn set_intent(&mut self, arrivals_finite: bool, concurrency_finite: bool) {
+        self.arrivals_intended_finite = arrivals_finite;
+        self.concurrency_intended_finite = concurrency_finite;
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is earlier than the last recorded one.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                ev.at() >= last.at(),
+                "trace events must be appended in time order"
+            );
+        }
+        self.events.push(ev);
+    }
+
+    /// The recorded events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The instant of the last event, or [`Time::ZERO`] for an empty trace.
+    pub fn horizon(&self) -> Time {
+        self.events.last().map(TraceEvent::at).unwrap_or(Time::ZERO)
+    }
+
+    /// Builds the presence index for membership queries.
+    pub fn presence(&self) -> PresenceMap {
+        PresenceMap::from_trace(self)
+    }
+
+    /// Membership statistics for checking conformance to an
+    /// [`crate::arrival::ArrivalModel`].
+    pub fn arrival_stats(&self) -> RunArrivalStats {
+        let presence = self.presence();
+        let joins_after_start = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Join { at, .. } if *at > Time::ZERO))
+            .count();
+        RunArrivalStats {
+            total_arrivals: presence.total_arrivals(),
+            joins_after_start,
+            max_concurrency: presence.max_concurrency(),
+            total_arrivals_finite: self.arrivals_intended_finite,
+            max_concurrency_finite: self.concurrency_intended_finite,
+        }
+    }
+
+    /// Aggregate churn measurements over the whole trace.
+    pub fn churn_summary(&self) -> ChurnSummary {
+        let mut joins = 0usize;
+        let mut leaves = 0usize;
+        let mut crashes = 0usize;
+        let mut membership = 0usize;
+        let mut min_membership = usize::MAX;
+        let mut max_membership = 0usize;
+        let mut saw_membership_event = false;
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Join { at, .. } => {
+                    if *at > Time::ZERO {
+                        joins += 1;
+                    }
+                    membership += 1;
+                    saw_membership_event = true;
+                }
+                TraceEvent::Leave { .. } => {
+                    leaves += 1;
+                    membership = membership.saturating_sub(1);
+                    saw_membership_event = true;
+                }
+                TraceEvent::Crash { .. } => {
+                    crashes += 1;
+                    membership = membership.saturating_sub(1);
+                    saw_membership_event = true;
+                }
+                _ => continue,
+            }
+            min_membership = min_membership.min(membership);
+            max_membership = max_membership.max(membership);
+        }
+        ChurnSummary {
+            joins,
+            leaves,
+            crashes,
+            min_membership: if saw_membership_event { min_membership } else { 0 },
+            max_membership,
+            observed_ticks: self.horizon().as_ticks(),
+        }
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEvent>>(&mut self, iter: T) {
+        for ev in iter {
+            self.push(ev);
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace of {} events up to {}", self.len(), self.horizon())
+    }
+}
+
+/// Presence intervals of every process that ever joined.
+///
+/// A process present at the end of the trace has an interval open at the
+/// trace horizon: its `end` is `horizon + 1` so it *covers* the horizon.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PresenceMap {
+    intervals: BTreeMap<ProcessId, PresenceInterval>,
+    horizon: Time,
+}
+
+/// The presence of one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PresenceInterval {
+    /// Join instant.
+    pub joined: Time,
+    /// Departure instant, if the process departed within the trace.
+    pub departed: Option<Time>,
+    /// Whether the departure (if any) was a crash.
+    pub crashed: bool,
+}
+
+impl PresenceInterval {
+    /// The half-open presence interval, closed off at `horizon + 1` for
+    /// still-present processes.
+    pub fn as_interval(&self, horizon: Time) -> Interval {
+        let end = self
+            .departed
+            .unwrap_or(horizon + crate::time::TimeDelta::TICK);
+        Interval::new(self.joined, end.max(self.joined))
+    }
+}
+
+impl PresenceMap {
+    /// Builds the index from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut intervals: BTreeMap<ProcessId, PresenceInterval> = BTreeMap::new();
+        for ev in trace.events() {
+            match *ev {
+                TraceEvent::Join { pid, at } => {
+                    let prev = intervals.insert(
+                        pid,
+                        PresenceInterval {
+                            joined: at,
+                            departed: None,
+                            crashed: false,
+                        },
+                    );
+                    assert!(prev.is_none(), "identity {pid} reused in trace");
+                }
+                TraceEvent::Leave { pid, at } => {
+                    let slot = intervals
+                        .get_mut(&pid)
+                        .unwrap_or_else(|| panic!("leave of unknown process {pid}"));
+                    slot.departed = Some(at);
+                }
+                TraceEvent::Crash { pid, at } => {
+                    let slot = intervals
+                        .get_mut(&pid)
+                        .unwrap_or_else(|| panic!("crash of unknown process {pid}"));
+                    slot.departed = Some(at);
+                    slot.crashed = true;
+                }
+                _ => {}
+            }
+        }
+        PresenceMap {
+            intervals,
+            horizon: trace.horizon(),
+        }
+    }
+
+    /// Total number of processes that ever joined.
+    pub fn total_arrivals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The presence record of one process, if it ever joined.
+    pub fn of(&self, pid: ProcessId) -> Option<&PresenceInterval> {
+        self.intervals.get(&pid)
+    }
+
+    /// Processes present at instant `t`.
+    pub fn members_at(&self, t: Time) -> Vec<ProcessId> {
+        self.intervals
+            .iter()
+            .filter(|(_, p)| p.as_interval(self.horizon).contains(t))
+            .map(|(pid, _)| *pid)
+            .collect()
+    }
+
+    /// Processes whose presence covers the whole of `window` — the set the
+    /// interval-validity predicate requires a query to include.
+    pub fn present_throughout(&self, window: &Interval) -> Vec<ProcessId> {
+        self.intervals
+            .iter()
+            .filter(|(_, p)| p.as_interval(self.horizon).covers(window))
+            .map(|(pid, _)| *pid)
+            .collect()
+    }
+
+    /// Processes present at *some* instant of `window` — the largest set the
+    /// interval-validity predicate allows a query to draw from.
+    pub fn present_sometime(&self, window: &Interval) -> Vec<ProcessId> {
+        self.intervals
+            .iter()
+            .filter(|(_, p)| p.as_interval(self.horizon).overlaps(window))
+            .map(|(pid, _)| *pid)
+            .collect()
+    }
+
+    /// Maximum number of simultaneously-present processes over the trace.
+    ///
+    /// Computed by sweeping join/departure endpoints.
+    pub fn max_concurrency(&self) -> usize {
+        let mut deltas: Vec<(Time, i64)> = Vec::with_capacity(self.intervals.len() * 2);
+        for p in self.intervals.values() {
+            let iv = p.as_interval(self.horizon);
+            deltas.push((iv.start(), 1));
+            deltas.push((iv.end(), -1));
+        }
+        // Departures at an instant free the slot before arrivals at the same
+        // instant take it (half-open intervals).
+        deltas.sort_by_key(|&(t, d)| (t, d));
+        let mut cur = 0i64;
+        let mut max = 0i64;
+        for (_, d) in deltas {
+            cur += d;
+            max = max.max(cur);
+        }
+        max.max(0) as usize
+    }
+
+    /// The trace horizon used to close open presence intervals.
+    pub const fn horizon(&self) -> Time {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeDelta;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn t(n: u64) -> Time {
+        Time::from_ticks(n)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::Join { pid: pid(0), at: t(0) });
+        tr.push(TraceEvent::Join { pid: pid(1), at: t(0) });
+        tr.push(TraceEvent::Join { pid: pid(2), at: t(3) });
+        tr.push(TraceEvent::Leave { pid: pid(1), at: t(5) });
+        tr.push(TraceEvent::Join { pid: pid(3), at: t(6) });
+        tr.push(TraceEvent::Crash { pid: pid(2), at: t(8) });
+        tr.push(TraceEvent::Send { from: pid(0), to: pid(3), at: t(9) });
+        tr.push(TraceEvent::Deliver { from: pid(0), to: pid(3), at: t(10) });
+        tr
+    }
+
+    #[test]
+    fn push_enforces_time_order() {
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::Join { pid: pid(0), at: t(5) });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tr.push(TraceEvent::Join { pid: pid(1), at: t(4) });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn presence_intervals() {
+        let tr = sample_trace();
+        let pm = tr.presence();
+        assert_eq!(pm.total_arrivals(), 4);
+        let p1 = pm.of(pid(1)).unwrap();
+        assert_eq!(p1.departed, Some(t(5)));
+        assert!(!p1.crashed);
+        let p2 = pm.of(pid(2)).unwrap();
+        assert!(p2.crashed);
+        // p0 still present: interval covers the horizon.
+        let p0 = pm.of(pid(0)).unwrap();
+        assert!(p0.as_interval(pm.horizon()).contains(pm.horizon()));
+    }
+
+    #[test]
+    fn members_at_various_instants() {
+        let pm = sample_trace().presence();
+        assert_eq!(pm.members_at(t(0)), vec![pid(0), pid(1)]);
+        assert_eq!(pm.members_at(t(4)), vec![pid(0), pid(1), pid(2)]);
+        // At t=5, p1 has left (half-open interval).
+        assert_eq!(pm.members_at(t(5)), vec![pid(0), pid(2)]);
+        assert_eq!(pm.members_at(t(9)), vec![pid(0), pid(3)]);
+    }
+
+    #[test]
+    fn present_throughout_and_sometime() {
+        let pm = sample_trace().presence();
+        let window = Interval::new(t(3), t(7));
+        // Throughout [3,7): p0 (always) and p2 (joined 3, crashed 8).
+        assert_eq!(pm.present_throughout(&window), vec![pid(0), pid(2)]);
+        // Sometime in [3,7): everyone (p1 until 5, p3 from 6).
+        assert_eq!(
+            pm.present_sometime(&window),
+            vec![pid(0), pid(1), pid(2), pid(3)]
+        );
+    }
+
+    #[test]
+    fn max_concurrency_counts_overlap() {
+        let pm = sample_trace().presence();
+        // Peak: p0, p1, p2 simultaneously in [3,5).
+        assert_eq!(pm.max_concurrency(), 3);
+    }
+
+    #[test]
+    fn max_concurrency_with_replacement_is_tight() {
+        // p0 leaves at t=2 and p1 joins at t=2: never 2 simultaneously.
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::Join { pid: pid(0), at: t(0) });
+        tr.push(TraceEvent::Leave { pid: pid(0), at: t(2) });
+        tr.push(TraceEvent::Join { pid: pid(1), at: t(2) });
+        assert_eq!(tr.presence().max_concurrency(), 1);
+    }
+
+    #[test]
+    fn arrival_stats_reflect_trace() {
+        let tr = sample_trace();
+        let stats = tr.arrival_stats();
+        assert_eq!(stats.total_arrivals, 4);
+        assert_eq!(stats.joins_after_start, 2);
+        assert_eq!(stats.max_concurrency, 3);
+        assert!(stats.total_arrivals_finite);
+    }
+
+    #[test]
+    fn churn_summary_counts_events() {
+        let s = sample_trace().churn_summary();
+        assert_eq!(s.joins, 2); // joins after t=0
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.max_membership, 3);
+        assert_eq!(s.observed_ticks, 10);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.horizon(), Time::ZERO);
+        assert_eq!(tr.presence().total_arrivals(), 0);
+        assert_eq!(tr.presence().max_concurrency(), 0);
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut tr = Trace::new();
+        tr.extend([
+            TraceEvent::Join { pid: pid(0), at: t(0) },
+            TraceEvent::Leave { pid: pid(0), at: t(1) },
+        ]);
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn open_presence_covers_query_window_at_horizon() {
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::Join { pid: pid(0), at: t(0) });
+        tr.push(TraceEvent::Join { pid: pid(1), at: t(2) });
+        let pm = tr.presence();
+        let window = Interval::new(t(0), t(2));
+        assert_eq!(pm.present_throughout(&window), vec![pid(0)]);
+        // Window reaching the horizon still includes still-present processes.
+        let window = Interval::new(t(2), t(2) + TimeDelta::TICK);
+        assert_eq!(pm.present_throughout(&window), vec![pid(0), pid(1)]);
+    }
+}

@@ -1,0 +1,271 @@
+//! The solvability map: the paper's conclusions as an executable function.
+//!
+//! The paper's contribution is a *classification*: for which system classes
+//! can the one-time query be solved with interval validity, and for which is
+//! it impossible? [`one_time_query`] encodes that case analysis. Each
+//! [`Obstruction`] names the dimension that breaks solvability, and each is
+//! demonstrated *constructively* elsewhere in the workspace: an adversarial
+//! churn driver or schedule that defeats the wave protocol (experiments E5
+//! and E8 in EXPERIMENTS.md).
+//!
+//! The analysis, mirroring the paper:
+//!
+//! - The query must **terminate**, so the initiator needs to know when it
+//!   has waited long enough: this requires a known delay bound
+//!   (synchrony) *and* a known bound on how far information must travel
+//!   (bounded diameter).
+//! - The query must reach every process present throughout the interval:
+//!   this requires the stable part to stay **connected**.
+//! - Churn must not outrun the wave: with **unbounded concurrency** the
+//!   adversary can grow the system faster than any protocol explores it.
+//!
+//! When all obstructions are absent the wave protocol of `dds-protocols`
+//! solves the problem — which is exactly what the E8 experiment validates
+//! empirically, class by class.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::ArrivalModel;
+use crate::class::SystemClass;
+use crate::knowledge::{Connectivity, DiameterBound};
+use crate::timing::Timing;
+
+/// Why the one-time query is unsolvable in a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Obstruction {
+    /// The number of simultaneously-up processes can grow without bound:
+    /// churn outruns any wave (class C5).
+    UnboundedConcurrency,
+    /// No a-priori diameter bound: no finite TTL reaches every stable
+    /// process (class C4).
+    UnboundedDiameter,
+    /// No delay bound: a departed neighbor cannot be told from a slow one,
+    /// so no correct timeout exists (class C6).
+    NoDelayBound,
+    /// The stable part may stay partitioned: some required process is
+    /// unreachable (class C7).
+    Partitionable,
+}
+
+impl fmt::Display for Obstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Obstruction::UnboundedConcurrency => "unbounded concurrency outruns any wave",
+            Obstruction::UnboundedDiameter => "no TTL reaches an unboundedly distant stable node",
+            Obstruction::NoDelayBound => "no correct timeout without a delay bound",
+            Obstruction::Partitionable => "a partitioned stable part is unreachable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Verdict of the solvability analysis for a class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solvability {
+    /// Solvable with a protocol whose answer is exact (static systems: the
+    /// membership cannot change during the query).
+    SolvableExact,
+    /// Solvable with interval validity (dynamic but tame: bounded churn,
+    /// bounded diameter, synchrony, persistent connectivity).
+    Solvable,
+    /// Unsolvable; the obstructions explain why (every listed dimension
+    /// independently suffices).
+    Unsolvable(Vec<Obstruction>),
+}
+
+impl Solvability {
+    /// `true` when some protocol solves the problem in the class.
+    pub const fn is_solvable(&self) -> bool {
+        matches!(self, Solvability::SolvableExact | Solvability::Solvable)
+    }
+}
+
+impl fmt::Display for Solvability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Solvability::SolvableExact => write!(f, "solvable (exact)"),
+            Solvability::Solvable => write!(f, "solvable (interval validity)"),
+            Solvability::Unsolvable(obs) => {
+                write!(f, "unsolvable: ")?;
+                for (i, o) in obs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The paper's solvability analysis for the one-time query with interval
+/// validity.
+///
+/// # Examples
+///
+/// ```
+/// use dds_core::class::SystemClass;
+/// use dds_core::solvability::{one_time_query, Solvability};
+///
+/// assert_eq!(
+///     one_time_query(&SystemClass::c1_static(16)),
+///     Solvability::SolvableExact
+/// );
+/// assert!(one_time_query(&SystemClass::c3_bounded_dynamic(16, 4)).is_solvable());
+/// assert!(!one_time_query(&SystemClass::c5_unbounded_concurrency(4)).is_solvable());
+/// ```
+pub fn one_time_query(class: &SystemClass) -> Solvability {
+    let mut obstructions = Vec::new();
+
+    match class.arrival {
+        ArrivalModel::InfiniteFinite | ArrivalModel::InfiniteUnbounded => {
+            // "Finite in each run but unbounded" is as bad as unbounded for a
+            // protocol that must commit to parameters a priori.
+            obstructions.push(Obstruction::UnboundedConcurrency);
+        }
+        ArrivalModel::FiniteKnown { .. }
+        | ArrivalModel::FiniteUnknown
+        | ArrivalModel::InfiniteBounded { .. } => {}
+    }
+
+    if class.geography.diameter == DiameterBound::Unbounded {
+        obstructions.push(Obstruction::UnboundedDiameter);
+    }
+
+    match class.timing {
+        Timing::Synchronous { .. } => {}
+        Timing::EventuallySynchronous | Timing::Asynchronous => {
+            // A one-shot query cannot wait for an unknown stabilization
+            // time: timeouts fired before GST are wrong, and there is no
+            // second chance. Bounded-termination interval validity needs a
+            // bound that holds from the start.
+            obstructions.push(Obstruction::NoDelayBound);
+        }
+    }
+
+    match class.geography.connectivity {
+        Connectivity::AlwaysConnected => {}
+        Connectivity::EventuallyConnected | Connectivity::Arbitrary => {
+            obstructions.push(Obstruction::Partitionable);
+        }
+    }
+
+    if !obstructions.is_empty() {
+        return Solvability::Unsolvable(obstructions);
+    }
+    if class.arrival.is_static() {
+        Solvability::SolvableExact
+    } else {
+        Solvability::Solvable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn landscape_matches_design_table() {
+        let expected: &[(&str, bool)] = &[
+            ("C1", true),
+            ("C2", true),
+            ("C3", true),
+            ("C4", false),
+            ("C5", false),
+            ("C6", false),
+            ("C7", false),
+        ];
+        for ((name, class), (ename, solvable)) in
+            SystemClass::named_landscape().iter().zip(expected)
+        {
+            assert_eq!(name, ename);
+            assert_eq!(
+                one_time_query(class).is_solvable(),
+                *solvable,
+                "{name}: {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_is_exact() {
+        assert_eq!(
+            one_time_query(&SystemClass::c1_static(8)),
+            Solvability::SolvableExact
+        );
+    }
+
+    #[test]
+    fn dynamic_solvable_is_not_exact() {
+        assert_eq!(
+            one_time_query(&SystemClass::c3_bounded_dynamic(8, 3)),
+            Solvability::Solvable
+        );
+    }
+
+    #[test]
+    fn each_obstruction_is_reported() {
+        let v = one_time_query(&SystemClass::c4_unbounded_diameter(8));
+        assert_eq!(
+            v,
+            Solvability::Unsolvable(vec![Obstruction::UnboundedDiameter])
+        );
+        let v = one_time_query(&SystemClass::c5_unbounded_concurrency(3));
+        assert_eq!(
+            v,
+            Solvability::Unsolvable(vec![Obstruction::UnboundedConcurrency])
+        );
+        let v = one_time_query(&SystemClass::c6_asynchronous(8, 3));
+        assert_eq!(v, Solvability::Unsolvable(vec![Obstruction::NoDelayBound]));
+        let v = one_time_query(&SystemClass::c7_partitionable(8, 3));
+        assert_eq!(v, Solvability::Unsolvable(vec![Obstruction::Partitionable]));
+    }
+
+    #[test]
+    fn obstructions_accumulate() {
+        use crate::arrival::ArrivalModel;
+        use crate::failure::ProcessFailure;
+        use crate::knowledge::Geography;
+        use crate::timing::Timing;
+        let worst = SystemClass::new(
+            ArrivalModel::InfiniteUnbounded,
+            Geography::adversarial(),
+            Timing::Asynchronous,
+            ProcessFailure::CrashStop,
+        );
+        match one_time_query(&worst) {
+            Solvability::Unsolvable(obs) => assert_eq!(obs.len(), 4),
+            other => panic!("expected unsolvable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn solvability_is_antitone_along_refinement() {
+        // If a refines b and the problem is solvable in b, it is solvable
+        // in a. Check over all pairs of the landscape.
+        let landscape = SystemClass::named_landscape();
+        for (na, a) in &landscape {
+            for (nb, b) in &landscape {
+                if a.refines(b) && one_time_query(b).is_solvable() {
+                    assert!(
+                        one_time_query(a).is_solvable(),
+                        "{na} refines {nb} but loses solvability"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(one_time_query(&SystemClass::c1_static(4))
+            .to_string()
+            .contains("exact"));
+        assert!(one_time_query(&SystemClass::c6_asynchronous(4, 2))
+            .to_string()
+            .contains("timeout"));
+    }
+}

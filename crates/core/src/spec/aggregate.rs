@@ -1,0 +1,244 @@
+//! Aggregate functions for the one-time query.
+//!
+//! The paper's canonical problem asks for an aggregate `f` over the values
+//! held by the current members. Aggregation must be insensitive to the order
+//! in which partial results combine along the wave, so the natural algebraic
+//! home is a **commutative monoid**: [`Aggregate::identity`] plus an
+//! associative, commutative [`Aggregate::combine`]. Average is handled by
+//! pairing (sum, count).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A commutative-monoid aggregation over process values.
+///
+/// Implementations must satisfy, for all `a`, `b`, `c`:
+///
+/// - `combine(identity(), a) == a` (identity),
+/// - `combine(a, b) == combine(b, a)` (commutativity),
+/// - `combine(a, combine(b, c)) == combine(combine(a, b), c)`
+///   (associativity).
+///
+/// Property tests in this module and in `dds-protocols` check these laws for
+/// every built-in aggregate.
+pub trait Aggregate {
+    /// The carrier of partial results.
+    type Acc: Clone + fmt::Debug + PartialEq;
+
+    /// The neutral element.
+    fn identity(&self) -> Self::Acc;
+
+    /// Injects one process value into the monoid.
+    fn lift(&self, value: f64) -> Self::Acc;
+
+    /// Combines two partial results.
+    fn combine(&self, a: Self::Acc, b: Self::Acc) -> Self::Acc;
+
+    /// Extracts the final answer from an accumulated value.
+    fn finish(&self, acc: Self::Acc) -> f64;
+}
+
+/// The built-in aggregates, as a closed enum convenient for experiments.
+///
+/// # Examples
+///
+/// ```
+/// use dds_core::spec::aggregate::{Aggregate, AggregateKind};
+///
+/// let sum = AggregateKind::Sum;
+/// let acc = sum.combine(sum.lift(2.0), sum.lift(3.5));
+/// assert_eq!(sum.finish(acc), 5.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// Number of contributing processes.
+    Count,
+    /// Sum of contributed values.
+    Sum,
+    /// Minimum contributed value (`+inf` when nobody contributes).
+    Min,
+    /// Maximum contributed value (`-inf` when nobody contributes).
+    Max,
+    /// Arithmetic mean (`NaN` when nobody contributes).
+    Average,
+}
+
+/// Partial result of an [`AggregateKind`] computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggAcc {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl AggAcc {
+    /// The neutral partial result.
+    pub const EMPTY: AggAcc = AggAcc {
+        sum: 0.0,
+        count: 0,
+        min: f64::INFINITY,
+        max: f64::NEG_INFINITY,
+    };
+
+    /// Number of values folded in so far.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Aggregate for AggregateKind {
+    type Acc = AggAcc;
+
+    fn identity(&self) -> AggAcc {
+        AggAcc::EMPTY
+    }
+
+    fn lift(&self, value: f64) -> AggAcc {
+        AggAcc {
+            sum: value,
+            count: 1,
+            min: value,
+            max: value,
+        }
+    }
+
+    fn combine(&self, a: AggAcc, b: AggAcc) -> AggAcc {
+        AggAcc {
+            sum: a.sum + b.sum,
+            count: a.count + b.count,
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+        }
+    }
+
+    fn finish(&self, acc: AggAcc) -> f64 {
+        match self {
+            AggregateKind::Count => acc.count as f64,
+            AggregateKind::Sum => acc.sum,
+            AggregateKind::Min => acc.min,
+            AggregateKind::Max => acc.max,
+            AggregateKind::Average => {
+                if acc.count == 0 {
+                    f64::NAN
+                } else {
+                    acc.sum / acc.count as f64
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AggregateKind::Count => "count",
+            AggregateKind::Sum => "sum",
+            AggregateKind::Min => "min",
+            AggregateKind::Max => "max",
+            AggregateKind::Average => "average",
+        };
+        f.write_str(name)
+    }
+}
+
+impl AggregateKind {
+    /// All built-in aggregates.
+    pub const ALL: [AggregateKind; 5] = [
+        AggregateKind::Count,
+        AggregateKind::Sum,
+        AggregateKind::Min,
+        AggregateKind::Max,
+        AggregateKind::Average,
+    ];
+
+    /// Evaluates the aggregate directly over a slice of values — the
+    /// reference the distributed protocols are checked against.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        let acc = values
+            .iter()
+            .fold(self.identity(), |acc, &v| self.combine(acc, self.lift(v)));
+        self.finish(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        let values = [3.0, -1.0, 4.0, 1.5];
+        assert_eq!(AggregateKind::Count.eval(&values), 4.0);
+        assert_eq!(AggregateKind::Sum.eval(&values), 7.5);
+        assert_eq!(AggregateKind::Min.eval(&values), -1.0);
+        assert_eq!(AggregateKind::Max.eval(&values), 4.0);
+        assert!((AggregateKind::Average.eval(&values) - 1.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(AggregateKind::Count.eval(&[]), 0.0);
+        assert_eq!(AggregateKind::Sum.eval(&[]), 0.0);
+        assert_eq!(AggregateKind::Min.eval(&[]), f64::INFINITY);
+        assert_eq!(AggregateKind::Max.eval(&[]), f64::NEG_INFINITY);
+        assert!(AggregateKind::Average.eval(&[]).is_nan());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AggregateKind::Sum.to_string(), "sum");
+        assert_eq!(AggregateKind::Average.to_string(), "average");
+    }
+
+    fn finite_value() -> impl Strategy<Value = f64> {
+        -1.0e6..1.0e6
+    }
+
+    proptest! {
+        #[test]
+        fn identity_law(v in finite_value()) {
+            for kind in AggregateKind::ALL {
+                let lifted = kind.lift(v);
+                prop_assert_eq!(kind.combine(kind.identity(), lifted), lifted);
+                prop_assert_eq!(kind.combine(lifted, kind.identity()), lifted);
+            }
+        }
+
+        #[test]
+        fn commutativity(a in finite_value(), b in finite_value()) {
+            for kind in AggregateKind::ALL {
+                let ab = kind.combine(kind.lift(a), kind.lift(b));
+                let ba = kind.combine(kind.lift(b), kind.lift(a));
+                prop_assert_eq!(ab, ba);
+            }
+        }
+
+        #[test]
+        fn associativity_up_to_float_error(
+            a in finite_value(), b in finite_value(), c in finite_value()
+        ) {
+            for kind in AggregateKind::ALL {
+                let left = kind.combine(kind.combine(kind.lift(a), kind.lift(b)), kind.lift(c));
+                let right = kind.combine(kind.lift(a), kind.combine(kind.lift(b), kind.lift(c)));
+                prop_assert!((kind.finish(left) - kind.finish(right)).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn count_is_length(values in proptest::collection::vec(finite_value(), 0..50)) {
+            prop_assert_eq!(AggregateKind::Count.eval(&values), values.len() as f64);
+        }
+
+        #[test]
+        fn min_le_avg_le_max(values in proptest::collection::vec(finite_value(), 1..50)) {
+            let min = AggregateKind::Min.eval(&values);
+            let max = AggregateKind::Max.eval(&values);
+            let avg = AggregateKind::Average.eval(&values);
+            prop_assert!(min <= avg + 1e-9);
+            prop_assert!(avg <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Consensus specification.
+//!
+//! The consensus object lets each process *propose* a value and *decide*
+//! one. A run of a consensus implementation is summarized by one
+//! [`ConsensusRun`] and judged against the three classical properties:
+//!
+//! - **Validity** — every decided value was proposed by some process;
+//! - **Agreement** — no two processes decide different values;
+//! - **Termination** — every correct (non-crashed) participant decides.
+//!
+//! [`check_consensus`] evaluates all three and reports which were violated,
+//! which is what the E7 experiment and the impossibility demonstrations
+//! assert on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::ProcessId;
+
+/// The observable outcome of one consensus run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsensusRun {
+    /// Proposal of each participant.
+    pub proposals: BTreeMap<ProcessId, u64>,
+    /// Decision of each participant that decided.
+    pub decisions: BTreeMap<ProcessId, u64>,
+    /// Participants that crashed during the run (exempt from termination).
+    pub crashed: Vec<ProcessId>,
+}
+
+impl ConsensusRun {
+    /// Creates an empty run record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a proposal.
+    pub fn propose(&mut self, pid: ProcessId, value: u64) {
+        self.proposals.insert(pid, value);
+    }
+
+    /// Records a decision.
+    pub fn decide(&mut self, pid: ProcessId, value: u64) {
+        self.decisions.insert(pid, value);
+    }
+
+    /// Records a crash.
+    pub fn crash(&mut self, pid: ProcessId) {
+        self.crashed.push(pid);
+    }
+}
+
+/// Report of a consensus check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsensusReport {
+    /// Every decided value was proposed.
+    pub validity: bool,
+    /// All decided values are equal.
+    pub agreement: bool,
+    /// Every non-crashed proposer decided.
+    pub termination: bool,
+}
+
+impl ConsensusReport {
+    /// `true` when all three properties hold.
+    pub const fn is_correct(&self) -> bool {
+        self.validity && self.agreement && self.termination
+    }
+}
+
+impl fmt::Display for ConsensusReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "validity={}, agreement={}, termination={}",
+            self.validity, self.agreement, self.termination
+        )
+    }
+}
+
+/// Checks the three consensus properties over a run.
+///
+/// # Examples
+///
+/// ```
+/// use dds_core::process::ProcessId;
+/// use dds_core::spec::consensus::{check_consensus, ConsensusRun};
+///
+/// let mut run = ConsensusRun::new();
+/// let (a, b) = (ProcessId::from_raw(0), ProcessId::from_raw(1));
+/// run.propose(a, 10);
+/// run.propose(b, 20);
+/// run.decide(a, 20);
+/// run.decide(b, 20);
+/// assert!(check_consensus(&run).is_correct());
+/// ```
+pub fn check_consensus(run: &ConsensusRun) -> ConsensusReport {
+    let proposed: Vec<u64> = run.proposals.values().copied().collect();
+    let validity = run.decisions.values().all(|v| proposed.contains(v));
+    let agreement = run
+        .decisions
+        .values()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        <= 1;
+    let termination = run
+        .proposals
+        .keys()
+        .filter(|pid| !run.crashed.contains(pid))
+        .all(|pid| run.decisions.contains_key(pid));
+    ConsensusReport {
+        validity,
+        agreement,
+        termination,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn three_party_run() -> ConsensusRun {
+        let mut run = ConsensusRun::new();
+        run.propose(pid(0), 5);
+        run.propose(pid(1), 7);
+        run.propose(pid(2), 9);
+        run
+    }
+
+    #[test]
+    fn unanimous_decision_is_correct() {
+        let mut run = three_party_run();
+        for p in 0..3 {
+            run.decide(pid(p), 7);
+        }
+        let report = check_consensus(&run);
+        assert!(report.is_correct(), "{report}");
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let mut run = three_party_run();
+        run.decide(pid(0), 5);
+        run.decide(pid(1), 7);
+        run.decide(pid(2), 7);
+        let report = check_consensus(&run);
+        assert!(!report.agreement);
+        assert!(report.validity);
+        assert!(!report.is_correct());
+    }
+
+    #[test]
+    fn invented_value_violates_validity() {
+        let mut run = three_party_run();
+        for p in 0..3 {
+            run.decide(pid(p), 42); // nobody proposed 42
+        }
+        let report = check_consensus(&run);
+        assert!(!report.validity);
+        assert!(report.agreement);
+    }
+
+    #[test]
+    fn missing_decision_violates_termination() {
+        let mut run = three_party_run();
+        run.decide(pid(0), 5);
+        run.decide(pid(1), 5);
+        // p2 never decides and did not crash.
+        let report = check_consensus(&run);
+        assert!(!report.termination);
+    }
+
+    #[test]
+    fn crashed_process_exempt_from_termination() {
+        let mut run = three_party_run();
+        run.decide(pid(0), 5);
+        run.decide(pid(1), 5);
+        run.crash(pid(2));
+        let report = check_consensus(&run);
+        assert!(report.is_correct(), "{report}");
+    }
+
+    #[test]
+    fn empty_run_is_trivially_correct() {
+        assert!(check_consensus(&ConsensusRun::new()).is_correct());
+    }
+}

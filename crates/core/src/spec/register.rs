@@ -1,0 +1,442 @@
+//! Register specifications: atomicity (linearizability) and regularity.
+//!
+//! A *register* stores a value, read and written by processes. The
+//! self-implementations in `dds-registers` must provide an **atomic**
+//! register: every history must be *linearizable* — explainable by placing
+//! each operation at a single instant inside its interval such that every
+//! read returns the most recently written value. The checker here is a
+//! Wing–Gong style exhaustive search specialized to registers, with
+//! memoization on (linearized-set, last-write) pairs, which is fast enough
+//! for the bounded histories our scheduler produces.
+//!
+//! The weaker **regular** condition (meaningful for a single writer) lets a
+//! read concurrent with writes return either the previous value or any
+//! concurrently-written one; [`check_regular_single_writer`] validates it
+//! directly, read by read.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::history::{History, OpRecord};
+
+/// Operations on a register holding `u64` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegOp {
+    /// Read the current value.
+    Read,
+    /// Write a value.
+    Write(u64),
+}
+
+/// Responses of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegResp {
+    /// Value returned by a read; `None` encodes the initial value `⊥`.
+    Value(Option<u64>),
+    /// Acknowledgement of a write.
+    Ack,
+}
+
+/// A register history.
+pub type RegisterHistory = History<RegOp, RegResp>;
+
+/// A record in a register history.
+pub type RegisterRecord = OpRecord<RegOp, RegResp>;
+
+/// Outcome of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linearizability {
+    /// A witness linearization exists; the indices order the records of the
+    /// history into one legal sequential execution.
+    Linearizable {
+        /// Indices into `history.records()` in linearization order.
+        witness: Vec<usize>,
+    },
+    /// No linearization exists.
+    NotLinearizable,
+}
+
+impl Linearizability {
+    /// `true` when the history is linearizable.
+    pub const fn is_linearizable(&self) -> bool {
+        matches!(self, Linearizability::Linearizable { .. })
+    }
+}
+
+impl fmt::Display for Linearizability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Linearizability::Linearizable { witness } => {
+                write!(f, "linearizable ({} ops)", witness.len())
+            }
+            Linearizability::NotLinearizable => write!(f, "NOT linearizable"),
+        }
+    }
+}
+
+/// Error from [`check_atomic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckError {
+    /// The history has more operations than the checker supports (128).
+    TooLarge(usize),
+    /// The history interleaves operations of a single process.
+    MalformedHistory,
+    /// An operation completed without a recorded response value.
+    MissingResponse(usize),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::TooLarge(n) => {
+                write!(f, "history of {n} operations exceeds the 128-op checker limit")
+            }
+            CheckError::MalformedHistory => {
+                write!(f, "history interleaves operations of a single process")
+            }
+            CheckError::MissingResponse(i) => {
+                write!(f, "operation {i} completed without a response value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Checks atomicity (linearizability) of a register history.
+///
+/// Pending operations (no response) are allowed: a pending **write** may or
+/// may not take effect, a pending **read** is ignored (it returned nothing
+/// observable). Completed operations must all be explained.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] when the history is malformed, larger than 128
+/// operations, or has completed operations without response values.
+pub fn check_atomic(history: &RegisterHistory) -> Result<Linearizability, CheckError> {
+    let n = history.len();
+    if n > 128 {
+        return Err(CheckError::TooLarge(n));
+    }
+    if !history.is_well_formed() {
+        return Err(CheckError::MalformedHistory);
+    }
+    for (i, r) in history.records().iter().enumerate() {
+        if r.is_complete() && r.response.is_none() {
+            return Err(CheckError::MissingResponse(i));
+        }
+    }
+
+    let records = history.records();
+    // Precompute the real-time precedence relation.
+    let mut preceded_by: Vec<u128> = vec![0; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && records[j].precedes(&records[i]) {
+                preceded_by[i] |= 1u128 << j;
+            }
+        }
+    }
+
+    // State of the search: set of linearized ops (bitset) + index of the
+    // last linearized write (n == "initial value").
+    let mut memo: HashSet<(u128, usize)> = HashSet::new();
+    let mut witness: Vec<usize> = Vec::with_capacity(n);
+
+    fn read_matches(resp: &RegResp, last_write: Option<u64>) -> bool {
+        matches!(resp, RegResp::Value(v) if *v == last_write)
+    }
+
+    fn dfs(
+        records: &[RegisterRecord],
+        preceded_by: &[u128],
+        done: u128,
+        last_write_idx: usize, // records.len() == initial
+        memo: &mut HashSet<(u128, usize)>,
+        witness: &mut Vec<usize>,
+    ) -> bool {
+        let n = records.len();
+        // Success when every *completed* operation is linearized.
+        let mut all_complete_done = true;
+        for (i, r) in records.iter().enumerate() {
+            if r.is_complete() && done & (1 << i) == 0 {
+                all_complete_done = false;
+                break;
+            }
+        }
+        if all_complete_done {
+            return true;
+        }
+        if !memo.insert((done, last_write_idx)) {
+            return false;
+        }
+        let last_write_val = if last_write_idx == n {
+            None
+        } else {
+            match records[last_write_idx].op {
+                RegOp::Write(v) => Some(v),
+                RegOp::Read => unreachable!("last write index points at a read"),
+            }
+        };
+        for i in 0..n {
+            if done & (1 << i) != 0 {
+                continue;
+            }
+            // An op is a candidate next linearization point only if every op
+            // that really finished before it began is already linearized.
+            if preceded_by[i] & !done != 0 {
+                continue;
+            }
+            let r = &records[i];
+            match (&r.op, &r.response) {
+                (RegOp::Read, Some(resp)) => {
+                    if read_matches(resp, last_write_val) {
+                        witness.push(i);
+                        if dfs(records, preceded_by, done | (1 << i), last_write_idx, memo, witness)
+                        {
+                            return true;
+                        }
+                        witness.pop();
+                    }
+                }
+                (RegOp::Read, None) => {
+                    // Pending read: never needs to be linearized; skipping is
+                    // handled by the completion test above.
+                }
+                (RegOp::Write(_), _) => {
+                    witness.push(i);
+                    if dfs(records, preceded_by, done | (1 << i), i, memo, witness) {
+                        return true;
+                    }
+                    witness.pop();
+                }
+            }
+        }
+        false
+    }
+
+    if dfs(records, &preceded_by, 0, n, &mut memo, &mut witness) {
+        Ok(Linearizability::Linearizable { witness })
+    } else {
+        Ok(Linearizability::NotLinearizable)
+    }
+}
+
+/// Checks **regularity** for a single-writer history: every read returns
+/// either the value of the last write that precedes it or the value of a
+/// write concurrent with it (the initial value `None` counts as "last
+/// write" when no write precedes).
+///
+/// # Errors
+///
+/// Returns [`CheckError::MalformedHistory`] if the history is not
+/// well-formed or has multiple writers.
+pub fn check_regular_single_writer(history: &RegisterHistory) -> Result<bool, CheckError> {
+    if !history.is_well_formed() {
+        return Err(CheckError::MalformedHistory);
+    }
+    let writers: HashSet<_> = history
+        .records()
+        .iter()
+        .filter(|r| matches!(r.op, RegOp::Write(_)))
+        .map(|r| r.process)
+        .collect();
+    if writers.len() > 1 {
+        return Err(CheckError::MalformedHistory);
+    }
+
+    for read in history.records() {
+        let (RegOp::Read, Some(RegResp::Value(got))) = (&read.op, &read.response) else {
+            continue;
+        };
+        // Admissible values: last preceding write, or any overlapping write.
+        let mut admissible: Vec<Option<u64>> = Vec::new();
+        let mut last_preceding: Option<(&RegisterRecord, u64)> = None;
+        for w in history.records() {
+            let RegOp::Write(v) = w.op else { continue };
+            if w.precedes(read) {
+                let better = match last_preceding {
+                    None => true,
+                    Some((prev, _)) => prev.invoked < w.invoked,
+                };
+                if better {
+                    last_preceding = Some((w, v));
+                }
+            } else if !read.precedes(w) {
+                admissible.push(Some(v)); // concurrent write
+            }
+        }
+        admissible.push(last_preceding.map(|(_, v)| v));
+        if !admissible.contains(got) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessId;
+    use crate::time::Time;
+
+    fn rec(p: u64, op: RegOp, inv: u64, resp: u64, response: RegResp) -> RegisterRecord {
+        OpRecord {
+            process: ProcessId::from_raw(p),
+            op,
+            invoked: Time::from_ticks(inv),
+            responded: Some(Time::from_ticks(resp)),
+            response: Some(response),
+        }
+    }
+
+    fn write(p: u64, v: u64, inv: u64, resp: u64) -> RegisterRecord {
+        rec(p, RegOp::Write(v), inv, resp, RegResp::Ack)
+    }
+
+    fn read(p: u64, got: Option<u64>, inv: u64, resp: u64) -> RegisterRecord {
+        rec(p, RegOp::Read, inv, resp, RegResp::Value(got))
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(read(1, Some(1), 2, 3));
+        h.push(write(0, 2, 4, 5));
+        h.push(read(1, Some(2), 6, 7));
+        assert!(check_atomic(&h).unwrap().is_linearizable());
+    }
+
+    #[test]
+    fn read_of_initial_value() {
+        let mut h = RegisterHistory::new();
+        h.push(read(1, None, 0, 1));
+        h.push(write(0, 7, 2, 3));
+        assert!(check_atomic(&h).unwrap().is_linearizable());
+    }
+
+    #[test]
+    fn stale_read_is_not_linearizable() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(0, 2, 2, 3));
+        h.push(read(1, Some(1), 4, 5)); // write(2) already finished
+        assert_eq!(check_atomic(&h).unwrap(), Linearizability::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_read_may_return_either_value() {
+        // write(2) overlaps the read, so both 1 and 2 are legal.
+        for got in [1u64, 2u64] {
+            let mut h = RegisterHistory::new();
+            h.push(write(0, 1, 0, 1));
+            h.push(write(0, 2, 2, 6));
+            h.push(read(1, Some(got), 3, 5));
+            assert!(
+                check_atomic(&h).unwrap().is_linearizable(),
+                "read of {got} should be linearizable"
+            );
+        }
+    }
+
+    #[test]
+    fn new_old_inversion_is_not_linearizable() {
+        // Two sequential reads, both concurrent with write(2): the first
+        // returns the new value, the second the old one. Regular but not
+        // atomic — the classic distinction.
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(0, 2, 2, 20));
+        h.push(read(1, Some(2), 3, 5));
+        h.push(read(1, Some(1), 6, 8));
+        assert_eq!(check_atomic(&h).unwrap(), Linearizability::NotLinearizable);
+        assert!(check_regular_single_writer(&h).unwrap());
+    }
+
+    #[test]
+    fn phantom_value_is_neither_atomic_nor_regular() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(read(1, Some(9), 2, 3));
+        assert_eq!(check_atomic(&h).unwrap(), Linearizability::NotLinearizable);
+        assert!(!check_regular_single_writer(&h).unwrap());
+    }
+
+    #[test]
+    fn pending_write_may_or_may_not_take_effect() {
+        // Pending write(5): a later read may return 5 …
+        let mut h = RegisterHistory::new();
+        h.push(OpRecord {
+            process: ProcessId::from_raw(0),
+            op: RegOp::Write(5),
+            invoked: Time::from_ticks(0),
+            responded: None,
+            response: None,
+        });
+        h.push(read(1, Some(5), 1, 2));
+        assert!(check_atomic(&h).unwrap().is_linearizable());
+        // … or the initial value.
+        let mut h2 = RegisterHistory::new();
+        h2.push(OpRecord {
+            process: ProcessId::from_raw(0),
+            op: RegOp::Write(5),
+            invoked: Time::from_ticks(0),
+            responded: None,
+            response: None,
+        });
+        h2.push(read(1, None, 1, 2));
+        assert!(check_atomic(&h2).unwrap().is_linearizable());
+    }
+
+    #[test]
+    fn witness_is_a_permutation_of_completed_ops() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(read(1, Some(1), 2, 3));
+        match check_atomic(&h).unwrap() {
+            Linearizability::Linearizable { witness } => {
+                let mut sorted = witness.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1]);
+            }
+            other => panic!("expected linearizable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_history_is_rejected() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 10));
+        h.push(write(0, 2, 5, 15)); // same process, overlapping
+        assert_eq!(check_atomic(&h), Err(CheckError::MalformedHistory));
+    }
+
+    #[test]
+    fn multi_writer_regularity_rejected() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(1, 2, 2, 3));
+        assert_eq!(
+            check_regular_single_writer(&h),
+            Err(CheckError::MalformedHistory)
+        );
+    }
+
+    #[test]
+    fn regular_read_of_last_preceding_write() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(0, 2, 2, 3));
+        h.push(read(1, Some(2), 4, 5));
+        assert!(check_regular_single_writer(&h).unwrap());
+        // A regular read may NOT return an old overwritten value.
+        let mut h2 = RegisterHistory::new();
+        h2.push(write(0, 1, 0, 1));
+        h2.push(write(0, 2, 2, 3));
+        h2.push(read(1, Some(1), 4, 5));
+        assert!(!check_regular_single_writer(&h2).unwrap());
+    }
+}

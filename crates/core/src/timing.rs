@@ -1,0 +1,126 @@
+//! The timing dimension, inherited from static systems.
+//!
+//! Dynamicity interacts with synchrony: the paper's wave protocol needs
+//! timeouts to decide that a neighbor has left rather than being slow, and
+//! correct timeouts exist only under (eventual) synchrony. In a fully
+//! asynchronous dynamic system, a departed neighbor and a slow neighbor are
+//! indistinguishable, which is one of the unsolvability sources in the
+//! solvability map (class C6 in DESIGN.md).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::TimeDelta;
+
+/// Synchrony assumption of a system class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Timing {
+    /// Message delays are bounded by a constant `delta` known to the
+    /// protocol, and processing time is negligible.
+    Synchronous {
+        /// The known upper bound on message delay, in ticks.
+        delta: TimeDelta,
+    },
+    /// Bounds exist but hold only after some unknown global stabilization
+    /// time (the partially-synchronous model).
+    EventuallySynchronous,
+    /// No bound on message delays (delays are finite but unbounded).
+    Asynchronous,
+}
+
+impl Timing {
+    /// The known delay bound, when one is available from the start.
+    pub const fn delay_bound(&self) -> Option<TimeDelta> {
+        match self {
+            Timing::Synchronous { delta } => Some(*delta),
+            Timing::EventuallySynchronous | Timing::Asynchronous => None,
+        }
+    }
+
+    /// Permissiveness rank: higher admits more runs.
+    pub const fn rank(&self) -> u8 {
+        match self {
+            Timing::Synchronous { .. } => 0,
+            Timing::EventuallySynchronous => 1,
+            Timing::Asynchronous => 2,
+        }
+    }
+
+    /// `true` when every run allowed by `self` is allowed by `other`.
+    ///
+    /// Two synchronous models compare by their delay bound.
+    pub fn refines(&self, other: &Timing) -> bool {
+        match (self, other) {
+            (Timing::Synchronous { delta: a }, Timing::Synchronous { delta: b }) => a <= b,
+            _ => self.rank() <= other.rank(),
+        }
+    }
+
+    /// `true` when timeouts can (eventually) be trusted, i.e. the model is
+    /// not fully asynchronous.
+    pub const fn supports_timeouts(&self) -> bool {
+        !matches!(self, Timing::Asynchronous)
+    }
+}
+
+impl fmt::Display for Timing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Timing::Synchronous { delta } => write!(f, "synchronous (delta={})", delta.as_ticks()),
+            Timing::EventuallySynchronous => write!(f, "eventually synchronous"),
+            Timing::Asynchronous => write!(f, "asynchronous"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_chain() {
+        let sync = Timing::Synchronous {
+            delta: TimeDelta::ticks(2),
+        };
+        assert!(sync.rank() < Timing::EventuallySynchronous.rank());
+        assert!(Timing::EventuallySynchronous.rank() < Timing::Asynchronous.rank());
+    }
+
+    #[test]
+    fn refinement_between_synchronous_models_compares_delta() {
+        let fast = Timing::Synchronous {
+            delta: TimeDelta::ticks(1),
+        };
+        let slow = Timing::Synchronous {
+            delta: TimeDelta::ticks(10),
+        };
+        assert!(fast.refines(&slow));
+        assert!(!slow.refines(&fast));
+        assert!(fast.refines(&Timing::Asynchronous));
+        assert!(!Timing::Asynchronous.refines(&fast));
+    }
+
+    #[test]
+    fn delay_bound_only_in_synchronous() {
+        assert_eq!(
+            Timing::Synchronous {
+                delta: TimeDelta::ticks(3)
+            }
+            .delay_bound(),
+            Some(TimeDelta::ticks(3))
+        );
+        assert_eq!(Timing::EventuallySynchronous.delay_bound(), None);
+        assert_eq!(Timing::Asynchronous.delay_bound(), None);
+    }
+
+    #[test]
+    fn timeout_support() {
+        assert!(Timing::Synchronous {
+            delta: TimeDelta::TICK
+        }
+        .supports_timeouts());
+        assert!(Timing::EventuallySynchronous.supports_timeouts());
+        assert!(!Timing::Asynchronous.supports_timeouts());
+    }
+}

@@ -1,0 +1,273 @@
+//! Knowledge-graph generators.
+//!
+//! Experiments instantiate the geography dimension with concrete graph
+//! families. Deterministic families (complete, ring, path, torus) realize
+//! known diameters for the E1/E3 sweeps; random families (Erdős–Rényi,
+//! random geometric, Watts–Strogatz) model unstructured overlays. All
+//! random generators draw from [`dds_core::rng::Rng`], so a `(family,
+//! seed)` pair always yields the same graph.
+
+use dds_core::process::ProcessId;
+use dds_core::rng::Rng;
+
+use crate::graph::Graph;
+
+fn nodes(n: usize) -> Vec<ProcessId> {
+    (0..n as u64).map(ProcessId::from_raw).collect()
+}
+
+fn empty_with_nodes(ids: &[ProcessId]) -> Graph {
+    let mut g = Graph::new();
+    for &id in ids {
+        g.add_node(id);
+    }
+    g
+}
+
+/// The complete graph on `n` nodes `p0 … p(n-1)` — the knowledge graph of a
+/// system with complete knowledge (diameter 1).
+pub fn complete(n: usize) -> Graph {
+    let ids = nodes(n);
+    let mut g = empty_with_nodes(&ids);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(ids[i], ids[j]);
+        }
+    }
+    g
+}
+
+/// A simple path `p0 - p1 - … - p(n-1)` (diameter `n-1`).
+pub fn path(n: usize) -> Graph {
+    let ids = nodes(n);
+    let mut g = empty_with_nodes(&ids);
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    g
+}
+
+/// A ring on `n >= 3` nodes (diameter `⌊n/2⌋`).
+///
+/// # Panics
+///
+/// Panics when `n < 3` (a ring needs at least a triangle).
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let ids = nodes(n);
+    let mut g = empty_with_nodes(&ids);
+    for i in 0..n {
+        g.add_edge(ids[i], ids[(i + 1) % n]);
+    }
+    g
+}
+
+/// A `rows × cols` torus (wrap-around grid); diameter
+/// `⌊rows/2⌋ + ⌊cols/2⌋`. Every node has degree 4 when both sides are at
+/// least 3.
+///
+/// # Panics
+///
+/// Panics when either side is zero.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "torus sides must be positive");
+    let n = rows * cols;
+    let ids = nodes(n);
+    let mut g = empty_with_nodes(&ids);
+    let idx = |r: usize, c: usize| ids[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            let right = idx(r, (c + 1) % cols);
+            let down = idx((r + 1) % rows, c);
+            if right != idx(r, c) && !g.has_edge(idx(r, c), right) {
+                g.add_edge(idx(r, c), right);
+            }
+            if down != idx(r, c) && !g.has_edge(idx(r, c), down) {
+                g.add_edge(idx(r, c), down);
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut Rng) -> Graph {
+    let ids = nodes(n);
+    let mut g = empty_with_nodes(&ids);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.chance(p) {
+                g.add_edge(ids[i], ids[j]);
+            }
+        }
+    }
+    g
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, an edge
+/// when their Euclidean distance is at most `radius`. The standard model of
+/// a sensor field — the motivating scenario for neighborhood knowledge.
+pub fn random_geometric(n: usize, radius: f64, rng: &mut Rng) -> Graph {
+    let ids = nodes(n);
+    let mut g = empty_with_nodes(&ids);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.unit_f64(), rng.unit_f64())).collect();
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            if dx * dx + dy * dy <= r2 {
+                g.add_edge(ids[i], ids[j]);
+            }
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// its `k` nearest neighbors on each side, then each edge is rewired with
+/// probability `beta`.
+///
+/// # Panics
+///
+/// Panics when `n < 2 * k + 2` (the lattice would be degenerate) or `k == 0`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut Rng) -> Graph {
+    assert!(k > 0, "k must be positive");
+    assert!(n >= 2 * k + 2, "need n >= 2k + 2 for a small world");
+    let ids = nodes(n);
+    let mut g = empty_with_nodes(&ids);
+    for i in 0..n {
+        for d in 1..=k {
+            let j = (i + d) % n;
+            if !g.has_edge(ids[i], ids[j]) {
+                g.add_edge(ids[i], ids[j]);
+            }
+        }
+    }
+    // Rewire.
+    let edges: Vec<_> = g.edges().collect();
+    for (a, b) in edges {
+        if rng.chance(beta) {
+            // Pick a new endpoint for a, avoiding self-loops and multi-edges.
+            for _ in 0..16 {
+                let c = ids[rng.index(n)];
+                if c != a && !g.has_edge(a, c) {
+                    g.remove_edge(a, b);
+                    g.add_edge(a, c);
+                    break;
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{diameter, is_connected};
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn complete_trivial_sizes() {
+        assert_eq!(complete(0).node_count(), 0);
+        let g = complete(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn path_diameter_is_length() {
+        let g = path(10);
+        assert_eq!(diameter(&g), Some(9));
+        assert_eq!(g.edge_count(), 9);
+    }
+
+    #[test]
+    fn ring_diameter_is_half() {
+        assert_eq!(diameter(&ring(8)), Some(4));
+        assert_eq!(diameter(&ring(9)), Some(4));
+        assert_eq!(ring(5).edge_count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_rejected() {
+        ring(2);
+    }
+
+    #[test]
+    fn torus_structure() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        // 4-regular: 20 * 4 / 2 = 40 edges.
+        assert_eq!(g.edge_count(), 40);
+        assert_eq!(diameter(&g), Some(2 + 2));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn degenerate_torus_rows() {
+        // 1 x n torus degenerates to a ring-ish structure without panicking.
+        let g = torus(1, 5);
+        assert_eq!(g.node_count(), 5);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = Rng::seeded(1);
+        let empty = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let a = erdos_renyi(20, 0.3, &mut Rng::seeded(7));
+        let b = erdos_renyi(20, 0.3, &mut Rng::seeded(7));
+        assert_eq!(a, b);
+        let c = erdos_renyi(20, 0.3, &mut Rng::seeded(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn geometric_radius_extremes() {
+        let mut rng = Rng::seeded(2);
+        let sparse = random_geometric(15, 0.0, &mut rng);
+        assert_eq!(sparse.edge_count(), 0);
+        let dense = random_geometric(15, 1.5, &mut rng); // > sqrt(2): all pairs
+        assert_eq!(dense.edge_count(), 15 * 14 / 2);
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count() {
+        let mut rng = Rng::seeded(3);
+        let n = 20;
+        let k = 2;
+        let g = watts_strogatz(n, k, 0.3, &mut rng);
+        assert_eq!(g.node_count(), n);
+        // Rewiring moves edges but never creates or destroys them (up to
+        // rare rewire failures which keep the original edge).
+        assert_eq!(g.edge_count(), n * k);
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_lattice() {
+        let mut rng = Rng::seeded(4);
+        let g = watts_strogatz(12, 2, 0.0, &mut rng);
+        assert!(is_connected(&g));
+        for node in g.nodes() {
+            assert_eq!(g.degree(node), Some(4));
+        }
+    }
+}

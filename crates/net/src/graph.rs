@@ -1,0 +1,290 @@
+//! The knowledge graph: who knows whom.
+//!
+//! In the paper's geography dimension, each entity knows a few others — its
+//! *neighbors*. [`Graph`] is the undirected graph of that relation over
+//! [`ProcessId`]s. It is a mutable structure: churn adds and removes nodes
+//! while queries are in flight, which is precisely the difficulty the
+//! one-time query has to survive.
+//!
+//! The representation is adjacency sets in a `BTreeMap`, chosen so that
+//! iteration order is deterministic — a requirement for reproducible
+//! simulation (DESIGN.md §7).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use dds_core::process::ProcessId;
+
+/// An undirected graph over process identities.
+///
+/// # Examples
+///
+/// ```
+/// use dds_core::process::ProcessId;
+/// use dds_net::graph::Graph;
+///
+/// let mut g = Graph::new();
+/// let (a, b) = (ProcessId::from_raw(0), ProcessId::from_raw(1));
+/// g.add_node(a);
+/// g.add_node(b);
+/// g.add_edge(a, b);
+/// assert_eq!(g.degree(a), Some(1));
+/// assert!(g.has_edge(a, b));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    adj: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a node with no neighbors. Idempotent.
+    pub fn add_node(&mut self, node: ProcessId) {
+        self.adj.entry(node).or_default();
+    }
+
+    /// Removes a node and every edge incident to it.
+    ///
+    /// Returns the former neighbors (useful for repair rules). Returns an
+    /// empty set when the node was absent.
+    pub fn remove_node(&mut self, node: ProcessId) -> BTreeSet<ProcessId> {
+        let neighbors = self.adj.remove(&node).unwrap_or_default();
+        for n in &neighbors {
+            if let Some(set) = self.adj.get_mut(n) {
+                set.remove(&node);
+            }
+        }
+        neighbors
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is absent or if `a == b` (self-loops make
+    /// no sense for a knowledge relation).
+    pub fn add_edge(&mut self, a: ProcessId, b: ProcessId) {
+        assert_ne!(a, b, "self-loop in knowledge graph");
+        assert!(self.adj.contains_key(&a), "edge endpoint {a} absent");
+        assert!(self.adj.contains_key(&b), "edge endpoint {b} absent");
+        self.adj.get_mut(&a).expect("checked").insert(b);
+        self.adj.get_mut(&b).expect("checked").insert(a);
+    }
+
+    /// Removes the undirected edge `{a, b}` if present.
+    pub fn remove_edge(&mut self, a: ProcessId, b: ProcessId) {
+        if let Some(set) = self.adj.get_mut(&a) {
+            set.remove(&b);
+        }
+        if let Some(set) = self.adj.get_mut(&b) {
+            set.remove(&a);
+        }
+    }
+
+    /// `true` when the node is present.
+    pub fn contains(&self, node: ProcessId) -> bool {
+        self.adj.contains_key(&node)
+    }
+
+    /// `true` when the edge `{a, b}` is present.
+    pub fn has_edge(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.adj.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// The neighbors of a node, or `None` when the node is absent.
+    pub fn neighbors(&self, node: ProcessId) -> Option<&BTreeSet<ProcessId>> {
+        self.adj.get(&node)
+    }
+
+    /// The degree of a node, or `None` when the node is absent.
+    pub fn degree(&self, node: ProcessId) -> Option<usize> {
+        self.adj.get(&node).map(BTreeSet::len)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// `true` when the graph has no node.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterates over the nodes in identity order.
+    pub fn nodes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Iterates over the edges as `(low, high)` pairs in identity order.
+    pub fn edges(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.adj
+            .iter()
+            .flat_map(|(&a, nbrs)| nbrs.iter().copied().filter(move |&b| a < b).map(move |b| (a, b)))
+    }
+
+    /// The subgraph induced by `keep` (nodes outside `keep` and their edges
+    /// are dropped).
+    pub fn induced(&self, keep: &BTreeSet<ProcessId>) -> Graph {
+        let mut g = Graph::new();
+        for &n in keep {
+            if self.contains(n) {
+                g.add_node(n);
+            }
+        }
+        for (a, b) in self.edges() {
+            if keep.contains(&a) && keep.contains(&b) {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+}
+
+impl FromIterator<(ProcessId, ProcessId)> for Graph {
+    /// Builds a graph from an edge list, creating endpoints as needed.
+    fn from_iter<T: IntoIterator<Item = (ProcessId, ProcessId)>>(iter: T) -> Self {
+        let mut g = Graph::new();
+        for (a, b) in iter {
+            g.add_node(a);
+            g.add_node(b);
+            g.add_edge(a, b);
+        }
+        g
+    }
+}
+
+impl Extend<(ProcessId, ProcessId)> for Graph {
+    fn extend<T: IntoIterator<Item = (ProcessId, ProcessId)>>(&mut self, iter: T) {
+        for (a, b) in iter {
+            self.add_node(a);
+            self.add_node(b);
+            self.add_edge(a, b);
+        }
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph with {} nodes, {} edges",
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn triangle() -> Graph {
+        [(pid(0), pid(1)), (pid(1), pid(2)), (pid(0), pid(2))]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn build_and_count() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(pid(0)), Some(2));
+        assert_eq!(g.degree(pid(9)), None);
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut g = Graph::new();
+        g.add_node(pid(0));
+        g.add_node(pid(0));
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn edges_are_undirected() {
+        let g = triangle();
+        assert!(g.has_edge(pid(0), pid(1)));
+        assert!(g.has_edge(pid(1), pid(0)));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (a, b) in edges {
+            assert!(a < b, "edges iterate as (low, high)");
+        }
+    }
+
+    #[test]
+    fn remove_node_returns_neighbors_and_cleans_edges() {
+        let mut g = triangle();
+        let nbrs = g.remove_node(pid(1));
+        assert_eq!(nbrs, BTreeSet::from([pid(0), pid(2)]));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(pid(0), pid(1)));
+        // Removing an absent node is a no-op.
+        assert!(g.remove_node(pid(42)).is_empty());
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = triangle();
+        g.remove_edge(pid(0), pid(1));
+        assert!(!g.has_edge(pid(0), pid(1)));
+        assert_eq!(g.edge_count(), 2);
+        // Idempotent.
+        g.remove_edge(pid(0), pid(1));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut g = Graph::new();
+        g.add_node(pid(0));
+        g.add_edge(pid(0), pid(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn edge_to_missing_node_rejected() {
+        let mut g = Graph::new();
+        g.add_node(pid(0));
+        g.add_edge(pid(0), pid(1));
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = triangle();
+        let keep = BTreeSet::from([pid(0), pid(1)]);
+        let sub = g.induced(&keep);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(pid(0), pid(1)));
+    }
+
+    #[test]
+    fn extend_with_edges() {
+        let mut g = Graph::new();
+        g.extend([(pid(5), pid(6))]);
+        assert!(g.has_edge(pid(5), pid(6)));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        assert_eq!(triangle().to_string(), "graph with 3 nodes, 3 edges");
+    }
+}

@@ -1,0 +1,101 @@
+//! Structural metrics of knowledge graphs, reported by the experiment
+//! harness alongside protocol results.
+
+use std::collections::BTreeMap;
+
+use crate::graph::Graph;
+
+/// Degree histogram: `degree -> number of nodes with that degree`.
+pub fn degree_distribution(graph: &Graph) -> BTreeMap<usize, usize> {
+    let mut hist = BTreeMap::new();
+    for node in graph.nodes() {
+        let d = graph.degree(node).expect("iterating own nodes");
+        *hist.entry(d).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Mean degree, or `0.0` for an empty graph.
+pub fn mean_degree(graph: &Graph) -> f64 {
+    if graph.is_empty() {
+        return 0.0;
+    }
+    2.0 * graph.edge_count() as f64 / graph.node_count() as f64
+}
+
+/// Global clustering coefficient: `3 × triangles / open triads`, or `0.0`
+/// when the graph has no path of length two.
+pub fn clustering_coefficient(graph: &Graph) -> f64 {
+    let mut triangles = 0usize;
+    let mut triads = 0usize;
+    for u in graph.nodes() {
+        let nbrs: Vec<_> = graph
+            .neighbors(u)
+            .expect("iterating own nodes")
+            .iter()
+            .copied()
+            .collect();
+        let d = nbrs.len();
+        triads += d.saturating_sub(1) * d / 2;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                if graph.has_edge(nbrs[i], nbrs[j]) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triads == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times.
+        triangles as f64 / triads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn degree_distribution_of_ring() {
+        let hist = degree_distribution(&generate::ring(6));
+        assert_eq!(hist, BTreeMap::from([(2, 6)]));
+    }
+
+    #[test]
+    fn mean_degree_values() {
+        assert_eq!(mean_degree(&Graph::new()), 0.0);
+        assert!((mean_degree(&generate::ring(6)) - 2.0).abs() < 1e-12);
+        assert!((mean_degree(&generate::complete(5)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        assert!((clustering_coefficient(&generate::complete(5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_ring_is_zero() {
+        assert_eq!(clustering_coefficient(&generate::ring(8)), 0.0);
+        assert_eq!(clustering_coefficient(&Graph::new()), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_plus_tail() {
+        // Triangle 0-1-2 plus edge 2-3.
+        use dds_core::process::ProcessId;
+        let pid = ProcessId::from_raw;
+        let g: Graph = [
+            (pid(0), pid(1)),
+            (pid(1), pid(2)),
+            (pid(0), pid(2)),
+            (pid(2), pid(3)),
+        ]
+        .into_iter()
+        .collect();
+        // Triads: node0:1, node1:1, node2:3, node3:0 => 5; triangle corners: 3.
+        assert!((clustering_coefficient(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+}

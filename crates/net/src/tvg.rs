@@ -1,0 +1,243 @@
+//! Time-varying graphs (TVGs) and temporal reachability.
+//!
+//! A dynamic system's knowledge graph is not one graph but a *sequence* of
+//! graphs indexed by time. Whether a one-time query can succeed is a
+//! question about **journeys**: can information travel from the initiator
+//! to a stable node through edges that exist *when the message crosses
+//! them*? A snapshot being connected at every instant is **not** enough for
+//! a journey to exist within a deadline — the classic subtlety of dynamic
+//! networks that the paper gestures at, made executable here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dds_core::process::ProcessId;
+use dds_core::time::Time;
+
+use crate::graph::Graph;
+
+/// A time-varying graph: a piecewise-constant sequence of snapshots.
+///
+/// Snapshot `g_i` is in force during `[t_i, t_{i+1})`; the last snapshot
+/// extends to infinity.
+#[derive(Debug, Clone, Default)]
+pub struct TimeVaryingGraph {
+    snapshots: Vec<(Time, Graph)>,
+}
+
+impl TimeVaryingGraph {
+    /// Creates an empty TVG (no snapshot: every query about it sees an
+    /// empty graph).
+    pub fn new() -> Self {
+        TimeVaryingGraph::default()
+    }
+
+    /// Appends a snapshot taking effect at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not strictly later than the previous snapshot's
+    /// instant.
+    pub fn push(&mut self, at: Time, graph: Graph) {
+        if let Some((last, _)) = self.snapshots.last() {
+            assert!(*last < at, "snapshots must be pushed in increasing time");
+        }
+        self.snapshots.push((at, graph));
+    }
+
+    /// The snapshot in force at `t` (the latest one at or before `t`), or
+    /// `None` before the first snapshot.
+    pub fn at(&self, t: Time) -> Option<&Graph> {
+        self.snapshots
+            .iter()
+            .rev()
+            .find(|(start, _)| *start <= t)
+            .map(|(_, g)| g)
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` when no snapshot was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Earliest-arrival times of one-hop-per-tick journeys from `source`
+    /// starting at `start`: a message can cross one currently-existing edge
+    /// per tick. Returns, for each reachable node, the earliest tick at
+    /// which it can be reached.
+    ///
+    /// This is the foremost-journey computation for discrete TVGs; it runs
+    /// until `deadline` (inclusive).
+    pub fn earliest_arrivals(
+        &self,
+        source: ProcessId,
+        start: Time,
+        deadline: Time,
+    ) -> BTreeMap<ProcessId, Time> {
+        let mut arrival: BTreeMap<ProcessId, Time> = BTreeMap::new();
+        match self.at(start) {
+            Some(g) if g.contains(source) => {
+                arrival.insert(source, start);
+            }
+            _ => return arrival,
+        }
+        let mut frontier: BTreeSet<ProcessId> = BTreeSet::from([source]);
+        let mut t = start;
+        while t < deadline && !frontier.is_empty() {
+            let next_t = Time::from_ticks(t.as_ticks() + 1);
+            let Some(g) = self.at(t) else { break };
+            let mut next_frontier = BTreeSet::new();
+            for &u in &frontier {
+                let Some(nbrs) = g.neighbors(u) else { continue };
+                for &v in nbrs {
+                    // The destination must still exist when the message
+                    // lands.
+                    let dest_alive = self.at(next_t).is_some_and(|g2| g2.contains(v));
+                    if dest_alive && !arrival.contains_key(&v) {
+                        arrival.insert(v, next_t);
+                        next_frontier.insert(v);
+                    }
+                }
+            }
+            // Nodes already reached keep relaying as long as they exist.
+            for (&node, _) in arrival.iter() {
+                if self.at(next_t).is_some_and(|g2| g2.contains(node)) {
+                    next_frontier.insert(node);
+                }
+            }
+            frontier = next_frontier;
+            t = next_t;
+        }
+        arrival
+    }
+
+    /// `true` when a journey from `source` reaches `target` within
+    /// `[start, deadline]`.
+    pub fn journey_exists(
+        &self,
+        source: ProcessId,
+        target: ProcessId,
+        start: Time,
+        deadline: Time,
+    ) -> bool {
+        self.earliest_arrivals(source, start, deadline)
+            .contains_key(&target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn t(n: u64) -> Time {
+        Time::from_ticks(n)
+    }
+
+    #[test]
+    fn static_tvg_behaves_like_bfs() {
+        let mut tvg = TimeVaryingGraph::new();
+        tvg.push(t(0), generate::path(4));
+        let arr = tvg.earliest_arrivals(pid(0), t(0), t(10));
+        assert_eq!(arr[&pid(0)], t(0));
+        assert_eq!(arr[&pid(1)], t(1));
+        assert_eq!(arr[&pid(3)], t(3));
+    }
+
+    #[test]
+    fn deadline_cuts_the_journey() {
+        let mut tvg = TimeVaryingGraph::new();
+        tvg.push(t(0), generate::path(6));
+        assert!(tvg.journey_exists(pid(0), pid(5), t(0), t(5)));
+        assert!(!tvg.journey_exists(pid(0), pid(5), t(0), t(4)));
+    }
+
+    #[test]
+    fn missing_source_reaches_nothing() {
+        let mut tvg = TimeVaryingGraph::new();
+        tvg.push(t(0), generate::path(3));
+        assert!(tvg.earliest_arrivals(pid(9), t(0), t(5)).is_empty());
+        assert!(TimeVaryingGraph::new()
+            .earliest_arrivals(pid(0), t(0), t(5))
+            .is_empty());
+    }
+
+    #[test]
+    fn edge_appearing_later_enables_journey() {
+        // Snapshot 0: 0-1, 2 isolated. Snapshot at t=3: 1-2 appears.
+        let mut g0 = generate::path(2);
+        g0.add_node(pid(2));
+        let mut g1 = g0.clone();
+        g1.add_edge(pid(1), pid(2));
+        let mut tvg = TimeVaryingGraph::new();
+        tvg.push(t(0), g0);
+        tvg.push(t(3), g1);
+        // Journey 0 -> 2 must wait at node 1 until the edge appears.
+        let arr = tvg.earliest_arrivals(pid(0), t(0), t(10));
+        assert_eq!(arr[&pid(1)], t(1));
+        assert_eq!(arr[&pid(2)], t(4));
+    }
+
+    #[test]
+    fn every_snapshot_connected_but_no_journey_backwards() {
+        // The classic temporal asymmetry: edges 1-2 exist only BEFORE 0-1.
+        // Journey 2 -> 0 exists, journey 0 -> 2 does not (within deadline).
+        let mut g_early = Graph::new();
+        for i in 0..3 {
+            g_early.add_node(pid(i));
+        }
+        let mut g_late = g_early.clone();
+        g_early.add_edge(pid(1), pid(2));
+        g_late.add_edge(pid(0), pid(1));
+        let mut tvg = TimeVaryingGraph::new();
+        tvg.push(t(0), g_early);
+        tvg.push(t(1), g_late);
+        assert!(tvg.journey_exists(pid(2), pid(0), t(0), t(3)));
+        assert!(!tvg.journey_exists(pid(0), pid(2), t(0), t(3)));
+    }
+
+    #[test]
+    fn node_departure_blocks_relay() {
+        // 0-1-2 path, but node 1 disappears at t=1: node 2 unreachable.
+        let g_full = generate::path(3);
+        let mut g_gone = Graph::new();
+        g_gone.add_node(pid(0));
+        g_gone.add_node(pid(2));
+        let mut tvg = TimeVaryingGraph::new();
+        tvg.push(t(0), g_full);
+        tvg.push(t(1), g_gone);
+        assert!(!tvg.journey_exists(pid(0), pid(2), t(0), t(10)));
+        // Even node 1 is unreachable: it no longer exists when the message
+        // would land.
+        assert!(!tvg.journey_exists(pid(0), pid(1), t(0), t(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing time")]
+    fn snapshots_must_increase() {
+        let mut tvg = TimeVaryingGraph::new();
+        tvg.push(t(5), Graph::new());
+        tvg.push(t(5), Graph::new());
+    }
+
+    #[test]
+    fn at_picks_latest_snapshot() {
+        let mut tvg = TimeVaryingGraph::new();
+        tvg.push(t(2), generate::path(2));
+        tvg.push(t(5), generate::path(3));
+        assert!(tvg.at(t(0)).is_none());
+        assert_eq!(tvg.at(t(2)).unwrap().node_count(), 2);
+        assert_eq!(tvg.at(t(4)).unwrap().node_count(), 2);
+        assert_eq!(tvg.at(t(5)).unwrap().node_count(), 3);
+        assert_eq!(tvg.at(t(100)).unwrap().node_count(), 3);
+        assert_eq!(tvg.len(), 2);
+        assert!(!tvg.is_empty());
+    }
+}

@@ -1,0 +1,629 @@
+//! The query harness: run one one-time query under a configured system
+//! class and judge the outcome against the specification.
+//!
+//! This is the bridge between the three layers of the reproduction: it
+//! builds a simulated world (`dds-sim`) over a knowledge graph (`dds-net`),
+//! runs a protocol from this crate, and evaluates the result with the
+//! specification checkers of `dds-core`. Every experiment row in
+//! EXPERIMENTS.md is a set of [`QueryScenario::run`] calls.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dds_core::churn::ChurnSpec;
+use dds_core::process::ProcessId;
+use dds_core::spec::aggregate::AggregateKind;
+use dds_core::spec::one_time_query::{check_outcome, QueryOutcome, ValidityReport};
+use dds_core::time::{Interval, Time, TimeDelta};
+use dds_net::graph::Graph;
+use dds_sim::delay::{DelayModel, LossModel};
+use dds_sim::driver::{BalancedChurn, Growth, NoChurn, PathStretch};
+use dds_sim::partition::PartitionDriver;
+use dds_sim::metrics::Metrics;
+use dds_sim::world::{TopologyPolicy, World, WorldBuilder};
+
+use crate::gossip::{GossipActor, GossipMsg};
+use crate::wave::{WaveActor, WaveConfig, WaveMsg};
+
+/// Which protocol answers the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// Timeout-driven flood/echo wave with the given TTL.
+    FloodEcho {
+        /// Hop budget (the protocol's diameter guess).
+        ttl: u32,
+    },
+    /// The single-tree baseline (no timeouts) with the given TTL.
+    SingleTree {
+        /// Hop budget.
+        ttl: u32,
+    },
+    /// `k` independent trees, contributor sets unioned.
+    MultiTree {
+        /// Hop budget.
+        ttl: u32,
+        /// Number of trees.
+        k: u32,
+    },
+    /// Push-sum gossip frozen after the given number of rounds.
+    Gossip {
+        /// Rounds before the initiator freezes its estimate.
+        rounds: u32,
+    },
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolKind::FloodEcho { ttl } => write!(f, "flood-echo(ttl={ttl})"),
+            ProtocolKind::SingleTree { ttl } => write!(f, "single-tree(ttl={ttl})"),
+            ProtocolKind::MultiTree { ttl, k } => write!(f, "multi-tree(ttl={ttl}, k={k})"),
+            ProtocolKind::Gossip { rounds } => write!(f, "push-sum(rounds={rounds})"),
+        }
+    }
+}
+
+/// Which churn regime drives the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriverSpec {
+    /// Static membership.
+    None,
+    /// Balanced replacement churn (`M^∞_b`).
+    Balanced {
+        /// Fraction replaced per window.
+        rate: f64,
+        /// Window in ticks.
+        window: u64,
+        /// Fraction of departures that crash instead of leaving.
+        crash_fraction: f64,
+    },
+    /// Geometric growth (`M^∞`).
+    Growth {
+        /// Growth factor per window.
+        per_window: f64,
+        /// Window in ticks.
+        window: u64,
+        /// Simulation-resource cap on membership (`usize::MAX` = none).
+        cap: usize,
+    },
+    /// The unbounded-diameter adversary; stretches the path between the
+    /// lowest and highest initial identities.
+    PathStretch {
+        /// Splice period in ticks.
+        window: u64,
+    },
+    /// The connectivity adversary: severs the initial membership into
+    /// identity halves at `cut_at`; heals at `heal_at` when given
+    /// (eventually-connected), never otherwise (arbitrary connectivity).
+    Partition {
+        /// When the cut happens (ticks).
+        cut_at: u64,
+        /// When the cut heals, if ever (ticks).
+        heal_at: Option<u64>,
+    },
+}
+
+/// A fully specified one-time-query experiment.
+#[derive(Debug, Clone)]
+pub struct QueryScenario {
+    /// Determinism seed.
+    pub seed: u64,
+    /// Initial knowledge graph; the initiator is its lowest identity.
+    pub graph: Graph,
+    /// Churn regime.
+    pub driver: DriverSpec,
+    /// Topology maintenance policy.
+    pub policy: TopologyPolicy,
+    /// Delay model (realizes the timing dimension).
+    pub delay: DelayModel,
+    /// Loss model.
+    pub loss: LossModel,
+    /// The aggregate queried.
+    pub aggregate: AggregateKind,
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// Query issue instant.
+    pub start: Time,
+    /// Hard cut-off: a query not finished by then is recorded as
+    /// non-terminated.
+    pub deadline: Time,
+}
+
+impl QueryScenario {
+    /// A baseline scenario: given graph and protocol, synchronous delays
+    /// (bound 1), no churn, no loss, counting members, query at `t = 1`,
+    /// generous deadline.
+    pub fn new(graph: Graph, protocol: ProtocolKind) -> Self {
+        QueryScenario {
+            seed: 0,
+            graph,
+            driver: DriverSpec::None,
+            policy: TopologyPolicy::default(),
+            delay: DelayModel::Fixed(TimeDelta::TICK),
+            loss: LossModel::None,
+            aggregate: AggregateKind::Count,
+            protocol,
+            start: Time::from_ticks(1),
+            deadline: Time::from_ticks(10_000),
+        }
+    }
+
+    /// The initiator: the lowest identity of the initial graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty initial graph.
+    pub fn initiator(&self) -> ProcessId {
+        self.graph.nodes().next().expect("scenario graph is empty")
+    }
+
+    /// The adversary's witness: the highest identity of the initial graph.
+    pub fn witness(&self) -> ProcessId {
+        self.graph.nodes().last().expect("scenario graph is empty")
+    }
+
+    /// Runs the scenario once and judges the outcome.
+    pub fn run(&self) -> QueryRun {
+        match self.protocol {
+            ProtocolKind::FloodEcho { ttl } => {
+                let delta = self.delay.bound().unwrap_or(TimeDelta::ticks(4));
+                let config = WaveConfig::flood_echo(self.aggregate, delta);
+                self.run_wave(config, ttl)
+            }
+            ProtocolKind::SingleTree { ttl } => {
+                let config = WaveConfig::single_tree(self.aggregate);
+                self.run_wave(config, ttl)
+            }
+            ProtocolKind::MultiTree { ttl, k } => {
+                let config = WaveConfig::multi_tree(self.aggregate, k);
+                self.run_wave(config, ttl)
+            }
+            ProtocolKind::Gossip { rounds } => self.run_gossip(rounds),
+        }
+    }
+
+    /// The world builder for this scenario (shared with the
+    /// continuous-query harness).
+    pub(crate) fn scenario_builder<M: Clone + 'static>(&self) -> WorldBuilder<M> {
+        let builder = WorldBuilder::new(self.seed)
+            .initial_graph(self.graph.clone())
+            .policy(self.policy)
+            .delay(self.delay)
+            .loss(self.loss)
+            // Bounded, identically distributed values: the reference
+            // aggregate over the required set and the protocol's answer
+            // over its (allowed) contributor set then differ only through
+            // sampling, not through identity-correlated drift.
+            .values(|_, rng| rng.unit_f64() * 100.0);
+        match self.driver {
+            DriverSpec::None => builder.driver(NoChurn),
+            DriverSpec::Balanced {
+                rate,
+                window,
+                crash_fraction,
+            } => {
+                let spec = ChurnSpec::rate(rate, TimeDelta::ticks(window))
+                    .expect("scenario churn rate must be valid");
+                builder.driver(
+                    BalancedChurn::new(spec)
+                        .with_crash_fraction(crash_fraction)
+                        .with_protected(self.initiator()),
+                )
+            }
+            DriverSpec::Growth { per_window, window, cap } => builder.driver(Growth {
+                growth_per_window: per_window,
+                window: TimeDelta::ticks(window),
+                cap,
+            }),
+            DriverSpec::PathStretch { window } => builder.driver(PathStretch {
+                initiator: self.initiator(),
+                witness: self.witness(),
+                window: TimeDelta::ticks(window),
+            }),
+            DriverSpec::Partition { cut_at, heal_at } => {
+                let ids: Vec<ProcessId> = self.graph.nodes().collect();
+                let split_at = ids[ids.len() / 2];
+                let cut = Time::from_ticks(cut_at);
+                builder.driver(match heal_at {
+                    Some(h) => PartitionDriver::transient(cut, Time::from_ticks(h), split_at),
+                    None => PartitionDriver::permanent(cut, split_at),
+                })
+            }
+        }
+    }
+
+    fn run_wave(&self, config: WaveConfig, ttl: u32) -> QueryRun {
+        let mut world: World<WaveMsg> = self
+            .scenario_builder()
+            .spawn(move |_| Box::new(WaveActor::new(config)))
+            .build();
+        let initiator = self.initiator();
+        world.inject(self.start, initiator, WaveMsg::Start { ttl });
+        // Chunked execution: stop as soon as the initiator has its answer
+        // (churn drivers would otherwise keep the event queue busy until
+        // the deadline for nothing).
+        let mut horizon = self.start;
+        loop {
+            horizon = (horizon + TimeDelta::ticks(64)).min(self.deadline);
+            world.run_until(horizon);
+            let done = world
+                .actor::<WaveActor>(initiator)
+                .is_some_and(|a| a.result().is_some());
+            if done || horizon >= self.deadline {
+                break;
+            }
+        }
+        let result = world
+            .actor::<WaveActor>(initiator)
+            .and_then(|a| a.result().cloned());
+        let (outcome, finished) = match result {
+            Some(r) => {
+                let end = r.finished_at.max(self.start) + TimeDelta::TICK;
+                let window = Interval::new(self.start, end);
+                let contributors: BTreeSet<ProcessId> =
+                    r.contributions.keys().copied().collect();
+                (
+                    QueryOutcome::answered(initiator, window, self.aggregate, contributors, r.value),
+                    Some(r.finished_at),
+                )
+            }
+            None => {
+                let window = Interval::new(self.start, self.deadline);
+                (
+                    QueryOutcome::timed_out(initiator, window, self.aggregate),
+                    None,
+                )
+            }
+        };
+        self.judge(world.values(), world.metrics(), world.trace(), outcome, finished)
+    }
+
+    fn run_gossip(&self, rounds: u32) -> QueryRun {
+        let period = TimeDelta::ticks(
+            2 * self.delay.bound().unwrap_or(TimeDelta::ticks(2)).as_ticks(),
+        );
+        let aggregate = self.aggregate;
+        let mut world: World<GossipMsg> = self
+            .scenario_builder()
+            .spawn(move |_| Box::new(GossipActor::new(period, aggregate)))
+            .build();
+        let initiator = self.initiator();
+        world.inject(self.start, initiator, GossipMsg::Start { rounds });
+        let mut horizon = self.start;
+        loop {
+            horizon = (horizon + TimeDelta::ticks(64)).min(self.deadline);
+            world.run_until(horizon);
+            let done = world
+                .actor::<GossipActor>(initiator)
+                .is_some_and(|a| a.result().is_some());
+            if done || horizon >= self.deadline {
+                break;
+            }
+        }
+        let result = world
+            .actor::<GossipActor>(initiator)
+            .and_then(|a| a.result().cloned());
+        let (outcome, finished) = match result {
+            Some(r) => {
+                let end = r.finished_at.max(self.start) + TimeDelta::TICK;
+                let window = Interval::new(self.start, end);
+                (
+                    QueryOutcome::answered(
+                        initiator,
+                        window,
+                        self.aggregate,
+                        r.contributors,
+                        r.estimate,
+                    ),
+                    Some(r.finished_at),
+                )
+            }
+            None => {
+                let window = Interval::new(self.start, self.deadline);
+                (
+                    QueryOutcome::timed_out(initiator, window, self.aggregate),
+                    None,
+                )
+            }
+        };
+        self.judge(world.values(), world.metrics(), world.trace(), outcome, finished)
+    }
+
+    fn judge(
+        &self,
+        values: &std::collections::BTreeMap<ProcessId, f64>,
+        metrics: &Metrics,
+        trace: &dds_core::run::Trace,
+        outcome: QueryOutcome,
+        finished: Option<Time>,
+    ) -> QueryRun {
+        let presence = trace.presence();
+        let report = check_outcome(&outcome, &presence);
+        let required = presence.present_throughout(&outcome.window);
+        let required_values: Vec<f64> =
+            required.iter().filter_map(|p| values.get(p).copied()).collect();
+        let truth_over_required = self.aggregate.eval(&required_values);
+        // Accuracy is judged against the membership snapshot at query
+        // issue — "what was the aggregate when I asked?" — because under
+        // extreme churn the required set can degenerate to the initiator
+        // alone, which would make relative error meaningless.
+        let snapshot_values: Vec<f64> = presence
+            .members_at(outcome.window.start())
+            .iter()
+            .filter_map(|p| values.get(p).copied())
+            .collect();
+        let truth_at_start = self.aggregate.eval(&snapshot_values);
+        let relative_error = if outcome.timed_out || !outcome.value.is_finite() {
+            f64::INFINITY
+        } else if truth_at_start == 0.0 {
+            outcome.value.abs()
+        } else {
+            (outcome.value - truth_at_start).abs() / truth_at_start.abs()
+        };
+        QueryRun {
+            outcome,
+            report,
+            metrics: *metrics,
+            truth_over_required,
+            truth_at_start,
+            relative_error,
+            finished,
+        }
+    }
+}
+
+/// Everything one scenario run produced.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// What the protocol reported.
+    pub outcome: QueryOutcome,
+    /// Specification verdict.
+    pub report: ValidityReport,
+    /// Kernel counters.
+    pub metrics: Metrics,
+    /// The reference aggregate over the processes present throughout the
+    /// window (the set interval validity is judged against).
+    pub truth_over_required: f64,
+    /// The reference aggregate over the membership snapshot at query issue
+    /// (the set accuracy is judged against).
+    pub truth_at_start: f64,
+    /// `|answer − truth_at_start| / |truth_at_start|` (∞ for
+    /// non-terminated queries).
+    pub relative_error: f64,
+    /// Completion instant, when the query terminated.
+    pub finished: Option<Time>,
+}
+
+impl fmt::Display for QueryRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | err {:.3} | {} msgs",
+            self.outcome, self.report, self.relative_error, self.metrics.sends
+        )
+    }
+}
+
+/// Runs `scenario` across `seeds` and reports the fraction of runs whose
+/// outcome is interval-valid, plus mean relative error and mean messages —
+/// the row format of the churn experiments.
+pub fn success_rate(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u64>) -> SweepRow {
+    let mut total = 0u32;
+    let mut valid = 0u32;
+    let mut terminated = 0u32;
+    let mut err_sum = 0.0;
+    let mut err_count = 0u32;
+    let mut msg_sum = 0u64;
+    for seed in seeds {
+        let mut s = scenario.clone();
+        s.seed = seed;
+        let run = s.run();
+        total += 1;
+        if run.report.level.is_interval_valid() {
+            valid += 1;
+        }
+        if !run.outcome.timed_out {
+            terminated += 1;
+            if run.relative_error.is_finite() {
+                err_sum += run.relative_error;
+                err_count += 1;
+            }
+        }
+        msg_sum += run.metrics.sends;
+    }
+    SweepRow {
+        runs: total,
+        interval_valid: valid,
+        terminated,
+        mean_relative_error: if err_count > 0 {
+            err_sum / f64::from(err_count)
+        } else {
+            f64::NAN
+        },
+        mean_messages: if total > 0 {
+            msg_sum as f64 / f64::from(total)
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Aggregated result of a multi-seed sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepRow {
+    /// Number of runs.
+    pub runs: u32,
+    /// Runs that were interval-valid.
+    pub interval_valid: u32,
+    /// Runs that terminated.
+    pub terminated: u32,
+    /// Mean relative error over terminated runs.
+    pub mean_relative_error: f64,
+    /// Mean messages per run.
+    pub mean_messages: f64,
+}
+
+impl SweepRow {
+    /// Interval-validity success rate in `[0, 1]`.
+    pub fn validity_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            f64::from(self.interval_valid) / f64::from(self.runs)
+        }
+    }
+
+    /// Termination rate in `[0, 1]`.
+    pub fn termination_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            f64::from(self.terminated) / f64::from(self.runs)
+        }
+    }
+}
+
+impl fmt::Display for SweepRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "valid {:>3.0}% | term {:>3.0}% | err {:.3} | {:.0} msgs",
+            self.validity_rate() * 100.0,
+            self.termination_rate() * 100.0,
+            self.mean_relative_error,
+            self.mean_messages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::spec::one_time_query::ValidityLevel;
+    use dds_net::generate;
+
+    #[test]
+    fn static_flood_echo_is_interval_valid_and_exact() {
+        let scenario = QueryScenario::new(
+            generate::torus(4, 4),
+            ProtocolKind::FloodEcho { ttl: 8 },
+        );
+        let run = scenario.run();
+        assert_eq!(run.report.level, ValidityLevel::IntervalValid);
+        assert_eq!(run.outcome.value, 16.0);
+        assert_eq!(run.relative_error, 0.0);
+        assert!(run.finished.is_some());
+    }
+
+    #[test]
+    fn short_ttl_is_weakly_valid() {
+        let scenario =
+            QueryScenario::new(generate::path(8), ProtocolKind::FloodEcho { ttl: 3 });
+        let run = scenario.run();
+        assert_eq!(run.report.level, ValidityLevel::WeaklyValid);
+        assert_eq!(run.outcome.value, 4.0);
+        assert!(run.report.coverage() < 1.0);
+    }
+
+    #[test]
+    fn moderate_churn_flood_echo_mostly_valid() {
+        let mut scenario = QueryScenario::new(
+            generate::torus(4, 4),
+            ProtocolKind::FloodEcho { ttl: 8 },
+        );
+        scenario.driver = DriverSpec::Balanced {
+            rate: 0.05,
+            window: 10,
+            crash_fraction: 0.0,
+        };
+        let row = success_rate(&scenario, 0..20);
+        assert_eq!(row.termination_rate(), 1.0, "flood-echo always terminates");
+        assert!(
+            row.validity_rate() >= 0.6,
+            "low churn should mostly preserve validity, got {row}"
+        );
+        // The paper's shape: more churn, less validity.
+        let mut heavy = scenario.clone();
+        heavy.driver = DriverSpec::Balanced {
+            rate: 0.4,
+            window: 10,
+            crash_fraction: 0.0,
+        };
+        let heavy_row = success_rate(&heavy, 0..20);
+        assert!(
+            heavy_row.validity_rate() < row.validity_rate(),
+            "heavier churn must hurt: {heavy_row} vs {row}"
+        );
+    }
+
+    #[test]
+    fn growth_driver_scenario_terminates() {
+        let mut scenario = QueryScenario::new(
+            generate::ring(8),
+            ProtocolKind::FloodEcho { ttl: 6 },
+        );
+        scenario.driver = DriverSpec::Growth {
+            per_window: 0.2,
+            window: 10,
+            cap: 64,
+        };
+        scenario.deadline = Time::from_ticks(100);
+        let run = scenario.run();
+        assert!(!run.outcome.timed_out);
+    }
+
+    #[test]
+    fn path_stretch_defeats_fixed_ttl() {
+        // Line of 4; adversary splices a node every 2 ticks. A TTL of 3
+        // suffices initially but the witness recedes faster than the wave.
+        let mut scenario = QueryScenario::new(
+            generate::path(4),
+            ProtocolKind::FloodEcho { ttl: 3 },
+        );
+        scenario.driver = DriverSpec::PathStretch { window: 1 };
+        scenario.deadline = Time::from_ticks(300);
+        let run = scenario.run();
+        // The witness (p3) is present throughout but must be missed.
+        assert!(
+            run.report.missed.contains(&scenario.witness())
+                || run.outcome.timed_out,
+            "adversary must defeat the wave: {run}"
+        );
+    }
+
+    #[test]
+    fn gossip_terminates_and_estimates() {
+        let mut scenario = QueryScenario::new(
+            generate::complete(8),
+            ProtocolKind::Gossip { rounds: 50 },
+        );
+        scenario.aggregate = AggregateKind::Sum;
+        scenario.deadline = Time::from_ticks(1000);
+        let run = scenario.run();
+        assert!(!run.outcome.timed_out);
+        assert!(run.relative_error < 0.1, "got {run}");
+    }
+
+    #[test]
+    fn sweep_row_rates() {
+        let row = SweepRow {
+            runs: 10,
+            interval_valid: 7,
+            terminated: 9,
+            mean_relative_error: 0.1,
+            mean_messages: 100.0,
+        };
+        assert!((row.validity_rate() - 0.7).abs() < 1e-12);
+        assert!((row.termination_rate() - 0.9).abs() < 1e-12);
+        assert!(row.to_string().contains("70%"));
+    }
+
+    #[test]
+    fn scenario_display_names() {
+        assert_eq!(
+            ProtocolKind::MultiTree { ttl: 4, k: 3 }.to_string(),
+            "multi-tree(ttl=4, k=3)"
+        );
+        assert_eq!(ProtocolKind::Gossip { rounds: 9 }.to_string(), "push-sum(rounds=9)");
+    }
+}

@@ -1,0 +1,256 @@
+//! Unreliable base objects.
+//!
+//! Following Guerraoui & Raynal, the base objects from which reliable
+//! objects are self-implemented can fail in two ways:
+//!
+//! - **Responsive crash**: the object stops changing state but keeps
+//!   answering — every operation returns the default value `⊥`. The caller
+//!   *learns* about the failure.
+//! - **Nonresponsive crash**: the object stops answering. An operation on
+//!   it never returns, and the caller cannot distinguish a crashed object
+//!   from a slow one.
+//!
+//! The distinction drives everything: `t+1` responsive-crash registers
+//! suffice to mask `t` failures (wait for everyone, ⊥ answers included),
+//! while nonresponsive crashes force `2t+1` and majority quorums — and
+//! make consensus self-implementation impossible (experiment E7).
+
+use std::fmt;
+
+/// The liveness state of a base object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectState {
+    /// Behaving according to its sequential specification.
+    Alive,
+    /// Responsive crash: answers `⊥` forever.
+    CrashedResponsive,
+    /// Nonresponsive crash: never answers again.
+    CrashedNonresponsive,
+}
+
+/// The outcome of one access to a base object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access<T> {
+    /// The object answered normally.
+    Ready(T),
+    /// The object answered `⊥` (responsive crash).
+    Bottom,
+    /// The object will never answer (nonresponsive crash).
+    Never,
+}
+
+impl<T> Access<T> {
+    /// `true` when the access produced an answer (normal or `⊥`).
+    pub const fn responded(&self) -> bool {
+        !matches!(self, Access::Never)
+    }
+}
+
+/// An unreliable single-value register (the base object of the register
+/// constructions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseRegister<T> {
+    value: Option<T>,
+    state: ObjectState,
+    /// Accesses served, for cost accounting.
+    accesses: u64,
+}
+
+impl<T: Clone> BaseRegister<T> {
+    /// A fresh, alive register holding `⊥` (no value).
+    pub fn new() -> Self {
+        BaseRegister {
+            value: None,
+            state: ObjectState::Alive,
+            accesses: 0,
+        }
+    }
+
+    /// The current liveness state.
+    pub fn state(&self) -> ObjectState {
+        self.state
+    }
+
+    /// Crashes the register in the given style (idempotent; a nonresponsive
+    /// crash cannot be downgraded).
+    pub fn crash(&mut self, state: ObjectState) {
+        if self.state == ObjectState::Alive {
+            self.state = state;
+        }
+    }
+
+    /// Reads the register.
+    pub fn read(&mut self) -> Access<Option<T>> {
+        self.accesses += 1;
+        match self.state {
+            ObjectState::Alive => Access::Ready(self.value.clone()),
+            ObjectState::CrashedResponsive => Access::Bottom,
+            ObjectState::CrashedNonresponsive => Access::Never,
+        }
+    }
+
+    /// Writes the register.
+    pub fn write(&mut self, v: T) -> Access<()> {
+        self.accesses += 1;
+        match self.state {
+            ObjectState::Alive => {
+                self.value = Some(v);
+                Access::Ready(())
+            }
+            ObjectState::CrashedResponsive => Access::Bottom,
+            ObjectState::CrashedNonresponsive => Access::Never,
+        }
+    }
+
+    /// Accesses served so far (including failed ones).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+impl<T: Clone> Default for BaseRegister<T> {
+    fn default() -> Self {
+        BaseRegister::new()
+    }
+}
+
+/// An unreliable one-shot consensus object: the first proposal to reach an
+/// alive object wins and is returned to every later proposer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseConsensus {
+    decided: Option<u64>,
+    state: ObjectState,
+    accesses: u64,
+}
+
+impl BaseConsensus {
+    /// A fresh, alive, undecided consensus object.
+    pub fn new() -> Self {
+        BaseConsensus {
+            decided: None,
+            state: ObjectState::Alive,
+            accesses: 0,
+        }
+    }
+
+    /// The current liveness state.
+    pub fn state(&self) -> ObjectState {
+        self.state
+    }
+
+    /// Crashes the object (idempotent, like [`BaseRegister::crash`]).
+    pub fn crash(&mut self, state: ObjectState) {
+        if self.state == ObjectState::Alive {
+            self.state = state;
+        }
+    }
+
+    /// Proposes `v`; an alive object returns the (now fixed) decision.
+    pub fn propose(&mut self, v: u64) -> Access<u64> {
+        self.accesses += 1;
+        match self.state {
+            ObjectState::Alive => {
+                let d = *self.decided.get_or_insert(v);
+                Access::Ready(d)
+            }
+            ObjectState::CrashedResponsive => Access::Bottom,
+            ObjectState::CrashedNonresponsive => Access::Never,
+        }
+    }
+
+    /// The value decided so far, if any (test observability).
+    pub fn decided(&self) -> Option<u64> {
+        self.decided
+    }
+
+    /// Accesses served so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+}
+
+impl Default for BaseConsensus {
+    fn default() -> Self {
+        BaseConsensus::new()
+    }
+}
+
+impl fmt::Display for ObjectState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObjectState::Alive => "alive",
+            ObjectState::CrashedResponsive => "crashed (responsive)",
+            ObjectState::CrashedNonresponsive => "crashed (nonresponsive)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alive_register_roundtrips() {
+        let mut r: BaseRegister<u64> = BaseRegister::new();
+        assert_eq!(r.read(), Access::Ready(None));
+        assert_eq!(r.write(7), Access::Ready(()));
+        assert_eq!(r.read(), Access::Ready(Some(7)));
+        assert_eq!(r.accesses(), 3);
+    }
+
+    #[test]
+    fn responsive_crash_answers_bottom() {
+        let mut r: BaseRegister<u64> = BaseRegister::new();
+        r.write(1);
+        r.crash(ObjectState::CrashedResponsive);
+        assert_eq!(r.read(), Access::Bottom);
+        assert_eq!(r.write(2), Access::Bottom);
+        assert!(r.read().responded());
+    }
+
+    #[test]
+    fn nonresponsive_crash_never_answers() {
+        let mut r: BaseRegister<u64> = BaseRegister::new();
+        r.crash(ObjectState::CrashedNonresponsive);
+        assert_eq!(r.read(), Access::Never);
+        assert!(!r.read().responded());
+    }
+
+    #[test]
+    fn crash_is_idempotent_and_not_downgradable() {
+        let mut r: BaseRegister<u64> = BaseRegister::new();
+        r.crash(ObjectState::CrashedNonresponsive);
+        r.crash(ObjectState::CrashedResponsive);
+        assert_eq!(r.state(), ObjectState::CrashedNonresponsive);
+    }
+
+    #[test]
+    fn consensus_first_proposal_wins() {
+        let mut c = BaseConsensus::new();
+        assert_eq!(c.propose(5), Access::Ready(5));
+        assert_eq!(c.propose(9), Access::Ready(5));
+        assert_eq!(c.decided(), Some(5));
+    }
+
+    #[test]
+    fn crashed_consensus_modes() {
+        let mut c = BaseConsensus::new();
+        c.crash(ObjectState::CrashedResponsive);
+        assert_eq!(c.propose(1), Access::Bottom);
+        let mut c2 = BaseConsensus::new();
+        c2.crash(ObjectState::CrashedNonresponsive);
+        assert_eq!(c2.propose(1), Access::Never);
+        assert_eq!(c2.decided(), None);
+    }
+
+    #[test]
+    fn crash_after_decision_keeps_decision_hidden() {
+        let mut c = BaseConsensus::new();
+        c.propose(3);
+        c.crash(ObjectState::CrashedResponsive);
+        assert_eq!(c.propose(4), Access::Bottom);
+        // The decision is still recorded internally (observability only).
+        assert_eq!(c.decided(), Some(3));
+    }
+}

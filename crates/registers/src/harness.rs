@@ -1,0 +1,485 @@
+//! The interleaving harness: concurrent clients against a reliable
+//! register, with the schedule chosen adversarially (seeded), and the
+//! resulting history judged by the linearizability checker.
+//!
+//! Each client owns a sequential script of operations. At every step the
+//! scheduler picks a random client and advances its current operation
+//! machine by one base access; crash events fire at configured steps.
+//! Invocation and response instants are the step counter, so the recorded
+//! [`RegisterHistory`] has exactly the real-time order the checker needs.
+
+use dds_core::process::ProcessId;
+use dds_core::rng::Rng;
+use dds_core::spec::history::OpRecord;
+use dds_core::spec::register::{RegOp, RegResp, RegisterHistory};
+use dds_core::time::Time;
+
+use crate::base::ObjectState;
+use crate::construction::{Construction, ReadMachine, ReliableRegister, WriteMachine};
+use crate::machine::{OpMachine, Poll};
+
+/// A crash to inject: at `step`, base register `index` fails with `state`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Scheduler step at which the crash fires.
+    pub step: u64,
+    /// Which base register crashes.
+    pub index: usize,
+    /// How it crashes.
+    pub state: ObjectState,
+}
+
+/// One client's pending operation.
+enum Running {
+    Write(WriteMachine, u64),
+    Read(ReadMachine),
+}
+
+struct Client {
+    pid: ProcessId,
+    script: Vec<RegOp>,
+    next: usize,
+    running: Option<(Running, Time)>,
+    stuck: bool,
+}
+
+/// Result of one scheduled run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The recorded history (pending operations included).
+    pub history: RegisterHistory,
+    /// Clients that ended stuck (waiting forever).
+    pub stuck_clients: Vec<ProcessId>,
+    /// Scheduler steps consumed.
+    pub steps: u64,
+}
+
+/// Runs `scripts` (one per client; client `i` is process `p<i>`)
+/// against a fresh register of the given construction and tolerance,
+/// injecting `crashes`, interleaving per `seed`.
+///
+/// The single-writer discipline is the caller's responsibility: exactly one
+/// client's script may contain writes.
+///
+/// # Panics
+///
+/// Panics if more than one script contains writes, or if a crash event
+/// indexes outside the register bank.
+pub fn run_schedule(
+    construction: Construction,
+    t: usize,
+    scripts: &[Vec<RegOp>],
+    crashes: &[CrashEvent],
+    seed: u64,
+) -> RunOutput {
+    let writers = scripts
+        .iter()
+        .filter(|s| s.iter().any(|op| matches!(op, RegOp::Write(_))))
+        .count();
+    assert!(writers <= 1, "the register is single-writer");
+
+    let mut reg = ReliableRegister::new(construction, t);
+    for c in crashes {
+        assert!(c.index < reg.bank_size(), "crash index out of bank");
+    }
+    let mut rng = Rng::seeded(seed);
+    let mut clients: Vec<Client> = scripts
+        .iter()
+        .enumerate()
+        .map(|(i, script)| Client {
+            pid: ProcessId::from_raw(i as u64),
+            script: script.clone(),
+            next: 0,
+            running: None,
+            stuck: false,
+        })
+        .collect();
+    let mut history = RegisterHistory::new();
+    let mut step: u64 = 0;
+    // Generous budget: every op needs at most 3 × bank accesses.
+    let budget = 16 + 64 * scripts.iter().map(Vec::len).sum::<usize>() as u64
+        * reg.bank_size() as u64;
+
+    loop {
+        step += 1;
+        if step > budget {
+            break;
+        }
+        for c in crashes {
+            if c.step == step {
+                reg.crash_base(c.index, c.state);
+            }
+        }
+        // Clients that can act: not stuck, and either mid-op or with script
+        // remaining.
+        let actionable: Vec<usize> = clients
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.stuck && (c.running.is_some() || c.next < c.script.len()))
+            .map(|(i, _)| i)
+            .collect();
+        if actionable.is_empty() {
+            break;
+        }
+        let &i = rng.choose(&actionable).expect("nonempty");
+        let client = &mut clients[i];
+        let now = Time::from_ticks(step);
+        if client.running.is_none() {
+            let op = client.script[client.next];
+            client.next += 1;
+            let running = match op {
+                RegOp::Write(v) => Running::Write(reg.begin_write(v), v),
+                RegOp::Read => Running::Read(reg.begin_read()),
+            };
+            client.running = Some((running, now));
+            continue;
+        }
+        let (running, invoked) = client.running.as_mut().expect("checked");
+        let invoked = *invoked;
+        match running {
+            Running::Write(m, v) => match m.step(reg.mem_mut(), &mut rng) {
+                Poll::Pending => {}
+                Poll::Done(()) => {
+                    history.push(OpRecord {
+                        process: client.pid,
+                        op: RegOp::Write(*v),
+                        invoked,
+                        responded: Some(now),
+                        response: Some(RegResp::Ack),
+                    });
+                    client.running = None;
+                }
+                Poll::Stuck => {
+                    history.push(OpRecord {
+                        process: client.pid,
+                        op: RegOp::Write(*v),
+                        invoked,
+                        responded: None,
+                        response: None,
+                    });
+                    client.stuck = true;
+                    client.running = None;
+                }
+            },
+            Running::Read(m) => match m.step(reg.mem_mut(), &mut rng) {
+                Poll::Pending => {}
+                Poll::Done(v) => {
+                    history.push(OpRecord {
+                        process: client.pid,
+                        op: RegOp::Read,
+                        invoked,
+                        responded: Some(now),
+                        response: Some(RegResp::Value(v)),
+                    });
+                    client.running = None;
+                }
+                Poll::Stuck => {
+                    history.push(OpRecord {
+                        process: client.pid,
+                        op: RegOp::Read,
+                        invoked,
+                        responded: None,
+                        response: None,
+                    });
+                    client.stuck = true;
+                    client.running = None;
+                }
+            },
+        }
+    }
+
+    RunOutput {
+        stuck_clients: clients.iter().filter(|c| c.stuck).map(|c| c.pid).collect(),
+        history,
+        steps: step,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::spec::register::check_atomic;
+
+    fn writes(vals: &[u64]) -> Vec<RegOp> {
+        vals.iter().map(|&v| RegOp::Write(v)).collect()
+    }
+
+    fn reads(n: usize) -> Vec<RegOp> {
+        vec![RegOp::Read; n]
+    }
+
+    #[test]
+    fn responsive_all_is_linearizable_across_seeds() {
+        for seed in 0..50 {
+            let out = run_schedule(
+                Construction::ResponsiveAll { write_back: true },
+                2,
+                &[writes(&[1, 2, 3]), reads(3), reads(3)],
+                &[],
+                seed,
+            );
+            assert!(out.stuck_clients.is_empty());
+            assert!(
+                check_atomic(&out.history).unwrap().is_linearizable(),
+                "seed {seed}:\n{}",
+                out.history
+            );
+        }
+    }
+
+    #[test]
+    fn responsive_all_linearizable_with_t_crashes() {
+        for seed in 0..50 {
+            let out = run_schedule(
+                Construction::ResponsiveAll { write_back: true },
+                2,
+                &[writes(&[1, 2, 3]), reads(3)],
+                &[
+                    CrashEvent { step: 5, index: 0, state: ObjectState::CrashedResponsive },
+                    CrashEvent { step: 11, index: 2, state: ObjectState::CrashedResponsive },
+                ],
+                seed,
+            );
+            assert!(out.stuck_clients.is_empty(), "responsive crashes never block");
+            assert!(
+                check_atomic(&out.history).unwrap().is_linearizable(),
+                "seed {seed}:\n{}",
+                out.history
+            );
+        }
+    }
+
+    #[test]
+    fn majority_with_write_back_is_linearizable() {
+        for seed in 0..50 {
+            let out = run_schedule(
+                Construction::MajorityQuorum { write_back: true },
+                1,
+                &[writes(&[1, 2]), reads(3), reads(3)],
+                &[CrashEvent { step: 7, index: 1, state: ObjectState::CrashedNonresponsive }],
+                seed,
+            );
+            assert!(out.stuck_clients.is_empty());
+            assert!(
+                check_atomic(&out.history).unwrap().is_linearizable(),
+                "seed {seed}:\n{}",
+                out.history
+            );
+        }
+    }
+
+    #[test]
+    fn too_many_nonresponsive_crashes_block_clients() {
+        let out = run_schedule(
+            Construction::MajorityQuorum { write_back: true },
+            1,
+            &[writes(&[1]), reads(1)],
+            &[
+                CrashEvent { step: 1, index: 0, state: ObjectState::CrashedNonresponsive },
+                CrashEvent { step: 1, index: 1, state: ObjectState::CrashedNonresponsive },
+            ],
+            3,
+        );
+        assert!(!out.stuck_clients.is_empty(), "t+1 crashes must block");
+        // A history with only pending ops is still (vacuously) linearizable.
+        assert!(check_atomic(&out.history).unwrap().is_linearizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-writer")]
+    fn two_writers_rejected() {
+        run_schedule(
+            Construction::ResponsiveAll { write_back: true },
+            1,
+            &[writes(&[1]), writes(&[2])],
+            &[],
+            0,
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            run_schedule(
+                Construction::MajorityQuorum { write_back: true },
+                1,
+                &[writes(&[5, 6]), reads(2)],
+                &[],
+                seed,
+            )
+            .history
+        };
+        assert_eq!(run(9), run(9));
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use dds_core::spec::register::{check_atomic, check_regular_single_writer};
+
+    /// Searches seeds for a new/old inversion. Returns the first seed whose
+    /// history is NOT atomic (and, when single-writer-checkable, regular).
+    fn find_inversion(
+        construction: Construction,
+        t: usize,
+        crashes: &[CrashEvent],
+        seeds: std::ops::Range<u64>,
+    ) -> Option<u64> {
+        for seed in seeds {
+            let out = run_schedule(
+                construction,
+                t,
+                &[
+                    vec![RegOp::Write(1), RegOp::Write(2), RegOp::Write(3)],
+                    vec![RegOp::Read; 3],
+                    vec![RegOp::Read; 3],
+                ],
+                crashes,
+                seed,
+            );
+            if !check_atomic(&out.history).unwrap().is_linearizable() {
+                // Inversions are regularity-preserving: the stale value is
+                // always a concurrent or preceding write.
+                assert!(
+                    check_regular_single_writer(&out.history).unwrap(),
+                    "seed {seed}: non-regular history:\n{}",
+                    out.history
+                );
+                return Some(seed);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn responsive_without_write_back_shows_inversion() {
+        let seed = find_inversion(
+            Construction::ResponsiveAll { write_back: false },
+            2,
+            &[CrashEvent { step: 6, index: 0, state: ObjectState::CrashedResponsive }],
+            0..300,
+        );
+        assert!(
+            seed.is_some(),
+            "no inversion found: the ablation lost its witness"
+        );
+    }
+
+    #[test]
+    fn responsive_with_write_back_shows_no_inversion_on_same_seeds() {
+        let seed = find_inversion(
+            Construction::ResponsiveAll { write_back: true },
+            2,
+            &[CrashEvent { step: 6, index: 0, state: ObjectState::CrashedResponsive }],
+            0..300,
+        );
+        assert_eq!(seed, None, "write-back must restore atomicity");
+    }
+
+    #[test]
+    fn majority_without_write_back_shows_inversion() {
+        let seed = find_inversion(
+            Construction::MajorityQuorum { write_back: false },
+            1,
+            &[],
+            0..500,
+        );
+        assert!(
+            seed.is_some(),
+            "no inversion found for quorum reads without write-back"
+        );
+    }
+
+    #[test]
+    fn majority_with_write_back_clean_on_same_seeds() {
+        let seed = find_inversion(
+            Construction::MajorityQuorum { write_back: true },
+            1,
+            &[],
+            0..500,
+        );
+        assert_eq!(seed, None, "write-back must restore atomicity");
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use dds_core::spec::register::check_atomic;
+    use proptest::prelude::*;
+
+    fn op_strategy() -> impl Strategy<Value = RegOp> {
+        prop_oneof![Just(RegOp::Read), (1u64..100).prop_map(RegOp::Write)]
+    }
+
+    fn reader_script() -> impl Strategy<Value = Vec<RegOp>> {
+        proptest::collection::vec(Just(RegOp::Read), 0..4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any single-writer workload, any interleaving, any ≤t responsive
+        /// crashes: the t+1 construction with write-back is atomic.
+        #[test]
+        fn responsive_construction_is_always_atomic(
+            writes in proptest::collection::vec(op_strategy(), 0..4),
+            r1 in reader_script(),
+            r2 in reader_script(),
+            seed in 0u64..10_000,
+            crash_step in 1u64..40,
+            crash_index in 0usize..3,
+        ) {
+            let writer: Vec<RegOp> = writes
+                .into_iter()
+                .filter(|op| matches!(op, RegOp::Write(_)))
+                .collect();
+            let out = run_schedule(
+                Construction::ResponsiveAll { write_back: true },
+                2,
+                &[writer, r1, r2],
+                &[CrashEvent {
+                    step: crash_step,
+                    index: crash_index,
+                    state: ObjectState::CrashedResponsive,
+                }],
+                seed,
+            );
+            prop_assert!(out.stuck_clients.is_empty());
+            prop_assert!(
+                check_atomic(&out.history).unwrap().is_linearizable(),
+                "history:\n{}", out.history
+            );
+        }
+
+        /// Same for the 2t+1 construction under ≤t nonresponsive crashes.
+        #[test]
+        fn majority_construction_is_always_atomic(
+            writes in proptest::collection::vec(1u64..100, 0..4),
+            r1 in reader_script(),
+            r2 in reader_script(),
+            seed in 0u64..10_000,
+            crash_step in 1u64..40,
+            crash_index in 0usize..3,
+        ) {
+            let writer: Vec<RegOp> = writes.into_iter().map(RegOp::Write).collect();
+            let out = run_schedule(
+                Construction::MajorityQuorum { write_back: true },
+                1,
+                &[writer, r1, r2],
+                &[CrashEvent {
+                    step: crash_step,
+                    index: crash_index,
+                    state: ObjectState::CrashedNonresponsive,
+                }],
+                seed,
+            );
+            prop_assert!(out.stuck_clients.is_empty(), "one crash is within tolerance");
+            prop_assert!(
+                check_atomic(&out.history).unwrap().is_linearizable(),
+                "history:\n{}", out.history
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Step-wise operation machines.
+//!
+//! A derived operation (a read or write of a *reliable* register built from
+//! unreliable base registers) is not atomic: it is a sequence of base-object
+//! accesses, and operations of different processes interleave. We model each
+//! derived operation as an [`OpMachine`] advanced one base access per
+//! scheduler step; the adversary (a seeded scheduler) chooses the
+//! interleaving, and the resulting histories are judged by the
+//! linearizability checker of `dds-core`.
+//!
+//! A machine can end [`Poll::Stuck`]: it waits for a response that will
+//! never come. That is not a bug of the framework — it is the observable
+//! behaviour of an algorithm deployed against a failure model it was not
+//! designed for (e.g. the `t+1` wait-for-all construction under a
+//! nonresponsive crash), and several experiments assert exactly that.
+
+use dds_core::rng::Rng;
+
+use crate::base::BaseRegister;
+
+/// The result of advancing a machine one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll<R> {
+    /// The operation completed with this result.
+    Done(R),
+    /// More steps needed.
+    Pending,
+    /// The operation can never complete (waiting on objects that will
+    /// never respond).
+    Stuck,
+}
+
+impl<R> Poll<R> {
+    /// `true` for [`Poll::Done`].
+    pub const fn is_done(&self) -> bool {
+        matches!(self, Poll::Done(_))
+    }
+}
+
+/// A derived operation over a bank of base registers holding `T`.
+pub trait OpMachine<T> {
+    /// What the operation returns.
+    type Output;
+
+    /// Performs one base-object access (or one response receipt).
+    fn step(&mut self, mem: &mut [BaseRegister<T>], rng: &mut Rng) -> Poll<Self::Output>;
+}
+
+/// Helper for quorum machines: indices of outstanding base objects that
+/// can still respond (alive or responsive-crashed). Nonresponsive objects
+/// never make this list — their responses never arrive.
+pub(crate) fn respondable<T: Clone>(
+    mem: &[BaseRegister<T>],
+    outstanding: &[usize],
+) -> Vec<usize> {
+    outstanding
+        .iter()
+        .copied()
+        .filter(|&j| {
+            mem[j].state() != crate::base::ObjectState::CrashedNonresponsive
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::ObjectState;
+
+    #[test]
+    fn poll_done_predicate() {
+        assert!(Poll::Done(5).is_done());
+        assert!(!Poll::<u8>::Pending.is_done());
+        assert!(!Poll::<u8>::Stuck.is_done());
+    }
+
+    #[test]
+    fn respondable_excludes_nonresponsive() {
+        let mut mem: Vec<BaseRegister<u64>> = (0..4).map(|_| BaseRegister::new()).collect();
+        mem[1].crash(ObjectState::CrashedNonresponsive);
+        mem[2].crash(ObjectState::CrashedResponsive);
+        let out = vec![0, 1, 2, 3];
+        assert_eq!(respondable(&mem, &out), vec![0, 2, 3]);
+    }
+}

@@ -1,0 +1,193 @@
+//! The event queue: a deterministic priority queue of scheduled events.
+//!
+//! Determinism requires total order: events at equal instants are ordered
+//! by their scheduling sequence number, so a run never depends on hash
+//! ordering or allocation addresses (DESIGN.md §7).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use dds_core::process::ProcessId;
+use dds_core::time::Time;
+
+/// Identifier of a pending timer, unique within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// An event awaiting dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M> {
+    /// A message arriving at `to`.
+    Deliver {
+        /// Original sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// A timer set by `pid` expiring.
+    Timer {
+        /// The process that set the timer.
+        pid: ProcessId,
+        /// Which timer.
+        timer: TimerId,
+    },
+    /// A churn-driver wake-up.
+    ChurnTick,
+}
+
+/// An event with its dispatch instant and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+struct Scheduled<M> {
+    at: Time,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The deterministic event queue.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` for dispatch at `at`.
+    pub fn schedule(&mut self, at: Time, event: Event<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event (FIFO among equal instants).
+    pub fn pop(&mut self) -> Option<(Time, Event<M>)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The instant of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Time {
+        Time::from_ticks(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(t(5), Event::ChurnTick);
+        q.schedule(t(2), Event::ChurnTick);
+        q.schedule(t(9), Event::ChurnTick);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(at, _)| at.as_ticks())
+            .collect();
+        assert_eq!(times, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule(
+                t(3),
+                Event::Deliver {
+                    from: ProcessId::from_raw(0),
+                    to: ProcessId::from_raw(0),
+                    msg: i,
+                },
+            );
+        }
+        let msgs: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Deliver { msg, .. } => msg,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(msgs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(7), Event::ChurnTick);
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(t(4), Event::ChurnTick);
+        q.schedule(t(1), Event::ChurnTick);
+        assert_eq!(q.pop().unwrap().0, t(1));
+        q.schedule(t(2), Event::ChurnTick);
+        assert_eq!(q.pop().unwrap().0, t(2));
+        assert_eq!(q.pop().unwrap().0, t(4));
+        assert!(q.pop().is_none());
+    }
+}

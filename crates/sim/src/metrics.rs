@@ -1,0 +1,82 @@
+//! Run metrics collected by the kernel, reported by every experiment.
+
+use std::fmt;
+
+/// Counters accumulated over one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages handed to the network.
+    pub sends: u64,
+    /// Messages delivered to a live destination.
+    pub delivers: u64,
+    /// Messages dropped (loss, or destination departed first).
+    pub drops: u64,
+    /// Timers that fired at a live owner.
+    pub timer_fires: u64,
+    /// Joins applied (including the initial configuration).
+    pub joins: u64,
+    /// Graceful leaves applied.
+    pub leaves: u64,
+    /// Crashes applied.
+    pub crashes: u64,
+    /// Largest membership observed.
+    pub max_membership: usize,
+}
+
+impl Metrics {
+    /// Fraction of sent messages that were delivered, `1.0` when nothing
+    /// was sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sends == 0 {
+            1.0
+        } else {
+            self.delivers as f64 / self.sends as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sends ({} delivered, {} dropped), {} timer fires, {} joins / {} leaves / {} crashes, peak membership {}",
+            self.sends,
+            self.delivers,
+            self.drops,
+            self.timer_fires,
+            self.joins,
+            self.leaves,
+            self.crashes,
+            self.max_membership
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_handles_zero_sends() {
+        assert_eq!(Metrics::default().delivery_ratio(), 1.0);
+        let m = Metrics {
+            sends: 10,
+            delivers: 7,
+            drops: 3,
+            ..Metrics::default()
+        };
+        assert!((m.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let m = Metrics {
+            sends: 5,
+            joins: 2,
+            ..Metrics::default()
+        };
+        let s = m.to_string();
+        assert!(s.contains("5 sends"));
+        assert!(s.contains("2 joins"));
+    }
+}

@@ -1,0 +1,814 @@
+//! The simulation kernel: a deterministic world of joining, leaving,
+//! crashing, message-passing processes.
+//!
+//! A [`World`] owns the event queue, the knowledge graph, the actors, the
+//! churn driver and the trace recorder. Runs are bit-reproducible: given
+//! the same [`WorldBuilder`] configuration and seed, every event fires in
+//! the same order (DESIGN.md §7).
+//!
+//! The flow of one event: pop the earliest `(time, seq)` event → dispatch
+//! to the destination actor (or the churn driver) → the actor's buffered
+//! effects (sends, timers, leaves) are applied → resulting notifications
+//! (neighbor up/down, starts) run as nested callbacks at the same instant.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use dds_core::process::{IdSource, ProcessId};
+use dds_core::rng::Rng;
+use dds_core::run::{Trace, TraceEvent};
+use dds_core::time::Time;
+use dds_net::dynamic::{AttachRule, RepairRule};
+use dds_net::graph::Graph;
+
+use crate::actor::{Actor, Context, Effect};
+use crate::delay::{DelayModel, LossModel};
+use crate::driver::{ChurnAction, ChurnDriver, NoChurn};
+use crate::event::{Event, EventQueue, TimerId};
+use crate::metrics::Metrics;
+
+/// How the knowledge graph evolves when processes join and depart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyPolicy {
+    /// Wiring rule for joiners.
+    pub attach: AttachRule,
+    /// Repair rule around departures.
+    pub repair: RepairRule,
+}
+
+impl Default for TopologyPolicy {
+    /// Random-3 attachment with neighbor bridging: a reasonable overlay
+    /// that maintains connectivity with high probability.
+    fn default() -> Self {
+        TopologyPolicy {
+            attach: AttachRule::RandomK(3),
+            repair: RepairRule::BridgeNeighbors,
+        }
+    }
+}
+
+type SpawnFn<M> = Box<dyn FnMut(ProcessId) -> Box<dyn Actor<M>>>;
+type ValueFn = Box<dyn FnMut(ProcessId, &mut Rng) -> f64>;
+
+/// Builder for a simulated world.
+///
+/// # Examples
+///
+/// ```
+/// use dds_net::generate;
+/// use dds_sim::world::WorldBuilder;
+/// use dds_sim::actor::{Actor, Context};
+/// use dds_core::process::ProcessId;
+///
+/// struct Silent;
+/// impl Actor<()> for Silent {
+///     fn on_message(&mut self, _: &mut Context<'_, ()>, _: ProcessId, _: ()) {}
+/// }
+///
+/// let mut world = WorldBuilder::new(42)
+///     .initial_graph(generate::ring(5))
+///     .spawn(|_| Box::new(Silent))
+///     .build();
+/// assert_eq!(world.members().len(), 5);
+/// ```
+pub struct WorldBuilder<M> {
+    seed: u64,
+    initial_graph: Graph,
+    policy: TopologyPolicy,
+    delay: DelayModel,
+    loss: LossModel,
+    driver: Box<dyn ChurnDriver>,
+    spawn: Option<SpawnFn<M>>,
+    value: ValueFn,
+}
+
+impl<M> fmt::Debug for WorldBuilder<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorldBuilder")
+            .field("seed", &self.seed)
+            .field("initial_graph", &self.initial_graph)
+            .field("policy", &self.policy)
+            .field("delay", &self.delay)
+            .field("loss", &self.loss)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Clone + 'static> WorldBuilder<M> {
+    /// Starts a builder with the given determinism seed.
+    pub fn new(seed: u64) -> Self {
+        WorldBuilder {
+            seed,
+            initial_graph: Graph::new(),
+            policy: TopologyPolicy::default(),
+            delay: DelayModel::Fixed(dds_core::time::TimeDelta::TICK),
+            loss: LossModel::None,
+            driver: Box::new(NoChurn),
+            spawn: None,
+            value: Box::new(|_, rng| rng.unit_f64() * 100.0),
+        }
+    }
+
+    /// Sets the initial knowledge graph; its nodes become the initial
+    /// membership.
+    pub fn initial_graph(mut self, graph: Graph) -> Self {
+        self.initial_graph = graph;
+        self
+    }
+
+    /// Sets the topology policy for churn.
+    pub fn policy(mut self, policy: TopologyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the message delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the message loss model.
+    pub fn loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the churn driver.
+    pub fn driver(mut self, driver: impl ChurnDriver + 'static) -> Self {
+        self.driver = Box::new(driver);
+        self
+    }
+
+    /// Sets the actor factory invoked for every process that enters the
+    /// system.
+    pub fn spawn(mut self, f: impl FnMut(ProcessId) -> Box<dyn Actor<M>> + 'static) -> Self {
+        self.spawn = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the function assigning each process its local value.
+    pub fn values(mut self, f: impl FnMut(ProcessId, &mut Rng) -> f64 + 'static) -> Self {
+        self.value = Box::new(f);
+        self
+    }
+
+    /// Builds the world and runs the initial `on_start` callbacks at
+    /// `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no actor factory was provided.
+    pub fn build(self) -> World<M> {
+        let spawn = self.spawn.expect("WorldBuilder::spawn is required");
+        let next_raw = self
+            .initial_graph
+            .nodes()
+            .map(|p| p.as_raw() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut world = World {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            rng: Rng::seeded(self.seed),
+            ids: IdSource::starting_at(next_raw),
+            graph: Graph::new(),
+            policy: self.policy,
+            delay: self.delay,
+            loss: self.loss,
+            driver: self.driver,
+            spawn,
+            value_fn: self.value,
+            actors: BTreeMap::new(),
+            departed: BTreeMap::new(),
+            values: BTreeMap::new(),
+            trace: Trace::new(),
+            metrics: Metrics::default(),
+            next_timer: 0,
+            callbacks: VecDeque::new(),
+        };
+        let intent = world.driver.intent();
+        world
+            .trace
+            .set_intent(intent.arrivals_finite, intent.concurrency_finite);
+        // Seat the initial membership.
+        let initial = self.initial_graph;
+        for pid in initial.nodes() {
+            let value = (world.value_fn)(pid, &mut world.rng);
+            world.values.insert(pid, value);
+            let actor = (world.spawn)(pid);
+            world.actors.insert(pid, actor);
+            world.trace.push(TraceEvent::Join { pid, at: Time::ZERO });
+            world.metrics.joins += 1;
+        }
+        world.graph = initial;
+        world.metrics.max_membership = world.graph.node_count();
+        let starts: Vec<ProcessId> = world.graph.nodes().collect();
+        for pid in starts {
+            world.callbacks.push_back(Callback::Start(pid));
+        }
+        world.drain_callbacks();
+        if let Some(t) = world.driver.initial_wakeup() {
+            world.queue.schedule(t, Event::ChurnTick);
+        }
+        world
+    }
+}
+
+/// A pending actor callback at the current instant.
+enum Callback<M> {
+    Start(ProcessId),
+    Message {
+        to: ProcessId,
+        from: ProcessId,
+        msg: M,
+    },
+    Timer {
+        pid: ProcessId,
+        timer: TimerId,
+    },
+    NeighborUp {
+        pid: ProcessId,
+        peer: ProcessId,
+    },
+    NeighborDown {
+        pid: ProcessId,
+        peer: ProcessId,
+    },
+    NeighborBridge {
+        pid: ProcessId,
+        peer: ProcessId,
+        replaced: ProcessId,
+    },
+}
+
+/// A running simulated world. Build one with [`WorldBuilder`].
+pub struct World<M> {
+    now: Time,
+    queue: EventQueue<M>,
+    rng: Rng,
+    ids: IdSource,
+    graph: Graph,
+    policy: TopologyPolicy,
+    delay: DelayModel,
+    loss: LossModel,
+    driver: Box<dyn ChurnDriver>,
+    spawn: SpawnFn<M>,
+    value_fn: ValueFn,
+    actors: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
+    departed: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
+    values: BTreeMap<ProcessId, f64>,
+    trace: Trace,
+    metrics: Metrics,
+    next_timer: u64,
+    callbacks: VecDeque<Callback<M>>,
+}
+
+impl<M> fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("members", &self.graph.node_count())
+            .field("pending_events", &self.queue.len())
+            .field("metrics", &self.metrics)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Clone + 'static> World<M> {
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The current membership, in identity order.
+    pub fn members(&self) -> Vec<ProcessId> {
+        self.graph.nodes().collect()
+    }
+
+    /// The current knowledge graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The run trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The run metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The local value of a process (present or departed).
+    pub fn value_of(&self, pid: ProcessId) -> Option<f64> {
+        self.values.get(&pid).copied()
+    }
+
+    /// The local values of every process that ever joined.
+    pub fn values(&self) -> &BTreeMap<ProcessId, f64> {
+        &self.values
+    }
+
+    /// The delay model in force (protocols use its bound for timeouts).
+    pub fn delay_model(&self) -> DelayModel {
+        self.delay
+    }
+
+    /// Inspects an actor's state by downcasting (present or departed
+    /// processes).
+    pub fn actor<A: Actor<M>>(&self, pid: ProcessId) -> Option<&A> {
+        self.actors
+            .get(&pid)
+            .or_else(|| self.departed.get(&pid))
+            .and_then(|a| {
+                let any: &dyn Any = &**a;
+                any.downcast_ref::<A>()
+            })
+    }
+
+    /// Schedules delivery of `msg` to `pid` at instant `at` (from itself) —
+    /// the hook the harness uses to start protocol instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn inject(&mut self, at: Time, pid: ProcessId, msg: M) {
+        assert!(at >= self.now, "cannot inject into the past");
+        self.queue.schedule(
+            at,
+            Event::Deliver {
+                from: pid,
+                to: pid,
+                msg,
+            },
+        );
+    }
+
+    /// Dispatches the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        match event {
+            Event::Deliver { from, to, msg } => {
+                if self.actors.contains_key(&to) {
+                    self.trace.push(TraceEvent::Deliver { from, to, at });
+                    self.metrics.delivers += 1;
+                    self.callbacks.push_back(Callback::Message { to, from, msg });
+                } else {
+                    self.trace.push(TraceEvent::Drop { from, to, at });
+                    self.metrics.drops += 1;
+                }
+            }
+            Event::Timer { pid, timer } => {
+                if self.actors.contains_key(&pid) {
+                    self.metrics.timer_fires += 1;
+                    self.callbacks.push_back(Callback::Timer { pid, timer });
+                }
+            }
+            Event::ChurnTick => {
+                let (actions, next) = self.driver.on_tick(self.now, &self.graph, &mut self.rng);
+                for action in actions {
+                    self.apply_churn(action);
+                }
+                if let Some(t) = next {
+                    assert!(t > self.now, "churn driver must advance time");
+                    self.queue.schedule(t, Event::ChurnTick);
+                }
+            }
+        }
+        self.drain_callbacks();
+        true
+    }
+
+    /// Runs until the queue holds no event at or before `deadline`, then
+    /// advances the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: Time) {
+        while self
+            .queue
+            .peek_time()
+            .is_some_and(|t| t <= deadline)
+        {
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until the event queue is empty (only safe with drivers that
+    /// stop; a periodic driver never drains).
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    fn apply_churn(&mut self, action: ChurnAction) {
+        match action {
+            ChurnAction::Join => {
+                let pid = self.ids.fresh();
+                self.admit(pid, AdmitWiring::Policy);
+            }
+            ChurnAction::Leave(pid) => self.depart(pid, false),
+            ChurnAction::Crash(pid) => self.depart(pid, true),
+            ChurnAction::LeaveRandom => {
+                if let Some(&pid) = {
+                    let members: Vec<ProcessId> = self.graph.nodes().collect();
+                    self.rng.choose(&members).copied().as_ref()
+                } {
+                    self.depart(pid, false);
+                }
+            }
+            ChurnAction::CrashRandom => {
+                let members: Vec<ProcessId> = self.graph.nodes().collect();
+                if let Some(&pid) = self.rng.choose(&members) {
+                    self.depart(pid, true);
+                }
+            }
+            ChurnAction::InsertBetween(a, b) => {
+                if !self.graph.has_edge(a, b) {
+                    return;
+                }
+                let pid = self.ids.fresh();
+                self.admit(pid, AdmitWiring::Splice(a, b));
+            }
+            ChurnAction::CutEdge(a, b) => {
+                if self.graph.has_edge(a, b) {
+                    self.graph.remove_edge(a, b);
+                    self.callbacks.push_back(Callback::NeighborDown { pid: a, peer: b });
+                    self.callbacks.push_back(Callback::NeighborDown { pid: b, peer: a });
+                }
+            }
+            ChurnAction::RestoreEdge(a, b) => {
+                if a != b
+                    && self.graph.contains(a)
+                    && self.graph.contains(b)
+                    && !self.graph.has_edge(a, b)
+                {
+                    self.graph.add_edge(a, b);
+                    self.callbacks.push_back(Callback::NeighborUp { pid: a, peer: b });
+                    self.callbacks.push_back(Callback::NeighborUp { pid: b, peer: a });
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, pid: ProcessId, wiring: AdmitWiring) {
+        let value = (self.value_fn)(pid, &mut self.rng);
+        self.values.insert(pid, value);
+        let wired_to: Vec<ProcessId> = match wiring {
+            AdmitWiring::Policy => self
+                .policy
+                .attach
+                .attach(&mut self.graph, pid, &mut self.rng)
+                .into_iter()
+                .collect(),
+            AdmitWiring::Splice(a, b) => {
+                self.graph.add_node(pid);
+                self.graph.add_edge(pid, a);
+                self.graph.add_edge(pid, b);
+                self.graph.remove_edge(a, b);
+                self.callbacks.push_back(Callback::NeighborDown { pid: a, peer: b });
+                self.callbacks.push_back(Callback::NeighborDown { pid: b, peer: a });
+                vec![a, b]
+            }
+        };
+        let actor = (self.spawn)(pid);
+        self.actors.insert(pid, actor);
+        self.trace.push(TraceEvent::Join { pid, at: self.now });
+        self.metrics.joins += 1;
+        self.metrics.max_membership = self.metrics.max_membership.max(self.graph.node_count());
+        self.callbacks.push_back(Callback::Start(pid));
+        for peer in wired_to {
+            self.callbacks.push_back(Callback::NeighborUp { pid: peer, peer: pid });
+        }
+    }
+
+    fn depart(&mut self, pid: ProcessId, crashed: bool) {
+        if !self.graph.contains(pid) {
+            return;
+        }
+        // Record which neighbor pairs were already connected so bridge
+        // repairs can be announced as NeighborUp.
+        let nbrs: Vec<ProcessId> = self
+            .graph
+            .neighbors(pid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let mut pre_connected = Vec::new();
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                if self.graph.has_edge(nbrs[i], nbrs[j]) {
+                    pre_connected.push((nbrs[i], nbrs[j]));
+                }
+            }
+        }
+        self.policy.repair.detach(&mut self.graph, pid);
+        if let Some(actor) = self.actors.remove(&pid) {
+            self.departed.insert(pid, actor);
+        }
+        if crashed {
+            self.trace.push(TraceEvent::Crash { pid, at: self.now });
+            self.metrics.crashes += 1;
+        } else {
+            self.trace.push(TraceEvent::Leave { pid, at: self.now });
+            self.metrics.leaves += 1;
+        }
+        // Announce bridge edges created by the repair rule BEFORE the
+        // departure notifications: a protocol waiting on the departed
+        // process must learn its replacement routes first, or it may give
+        // up on the subtree in the instant between the two notifications.
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if self.graph.has_edge(a, b) && !pre_connected.contains(&(a, b)) {
+                    self.callbacks
+                        .push_back(Callback::NeighborBridge { pid: a, peer: b, replaced: pid });
+                    self.callbacks
+                        .push_back(Callback::NeighborBridge { pid: b, peer: a, replaced: pid });
+                }
+            }
+        }
+        for &n in &nbrs {
+            if self.graph.contains(n) {
+                self.callbacks.push_back(Callback::NeighborDown { pid: n, peer: pid });
+            }
+        }
+    }
+
+    fn drain_callbacks(&mut self) {
+        while let Some(cb) = self.callbacks.pop_front() {
+            self.run_callback(cb);
+        }
+    }
+
+    fn run_callback(&mut self, cb: Callback<M>) {
+        let pid = match &cb {
+            Callback::Start(p)
+            | Callback::Message { to: p, .. }
+            | Callback::Timer { pid: p, .. }
+            | Callback::NeighborUp { pid: p, .. }
+            | Callback::NeighborDown { pid: p, .. }
+            | Callback::NeighborBridge { pid: p, .. } => *p,
+        };
+        let Some(mut actor) = self.actors.remove(&pid) else {
+            return; // departed between scheduling and dispatch
+        };
+        let neighbors: Vec<ProcessId> = self
+            .graph
+            .neighbors(pid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let value = self.values.get(&pid).copied().unwrap_or(0.0);
+        let effects = {
+            let mut ctx = Context::new(
+                pid,
+                self.now,
+                value,
+                &neighbors,
+                &mut self.rng,
+                &mut self.next_timer,
+            );
+            match cb {
+                Callback::Start(_) => actor.on_start(&mut ctx),
+                Callback::Message { from, msg, .. } => actor.on_message(&mut ctx, from, msg),
+                Callback::Timer { timer, .. } => actor.on_timer(&mut ctx, timer),
+                Callback::NeighborUp { peer, .. } => actor.on_neighbor_up(&mut ctx, peer),
+                Callback::NeighborDown { peer, .. } => actor.on_neighbor_down(&mut ctx, peer),
+                Callback::NeighborBridge { peer, replaced, .. } => {
+                    actor.on_neighbor_bridge(&mut ctx, peer, replaced)
+                }
+            }
+            ctx.effects
+        };
+        self.actors.insert(pid, actor);
+        self.apply_effects(pid, effects);
+    }
+
+    fn apply_effects(&mut self, pid: ProcessId, effects: Vec<Effect<M>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    self.metrics.sends += 1;
+                    if self.loss.drops(&mut self.rng) {
+                        self.trace.push(TraceEvent::Drop {
+                            from: pid,
+                            to,
+                            at: self.now,
+                        });
+                        self.metrics.drops += 1;
+                    } else {
+                        self.trace.push(TraceEvent::Send {
+                            from: pid,
+                            to,
+                            at: self.now,
+                        });
+                        let delay = self.delay.sample(&mut self.rng);
+                        self.queue
+                            .schedule(self.now + delay, Event::Deliver { from: pid, to, msg });
+                    }
+                }
+                Effect::SetTimer { id, delay } => {
+                    self.queue
+                        .schedule(self.now + delay, Event::Timer { pid, timer: id });
+                }
+                Effect::Leave => {
+                    self.depart(pid, false);
+                }
+            }
+        }
+    }
+}
+
+enum AdmitWiring {
+    Policy,
+    Splice(ProcessId, ProcessId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{BalancedChurn, Scripted};
+    use dds_core::churn::ChurnSpec;
+    use dds_core::time::TimeDelta;
+    use dds_net::generate;
+
+    /// Echoes every message back to its sender and counts traffic.
+    struct Echo {
+        received: u32,
+    }
+
+    impl Actor<u32> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, msg: u32) {
+            self.received += 1;
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+    }
+
+    fn echo_world(seed: u64) -> World<u32> {
+        WorldBuilder::new(seed)
+            .initial_graph(generate::ring(4))
+            .spawn(|_| Box::new(Echo { received: 0 }))
+            .build()
+    }
+
+    #[test]
+    fn ping_pong_counts_messages() {
+        let mut w = echo_world(1);
+        // Inject a 5-hop ping-pong between p0 and itself... inject sends
+        // p0 -> p0, then it echoes to itself until the counter hits 0.
+        w.inject(Time::from_ticks(1), ProcessId::from_raw(0), 4);
+        w.run_to_quiescence();
+        let echo: &Echo = w.actor(ProcessId::from_raw(0)).unwrap();
+        assert_eq!(echo.received, 5); // initial + 4 echoes
+        assert_eq!(w.metrics().delivers, 5);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            let mut w = echo_world(seed);
+            w.inject(Time::from_ticks(1), ProcessId::from_raw(0), 10);
+            w.run_to_quiescence();
+            (*w.metrics(), w.trace().len(), w.now())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn message_to_departed_process_is_dropped() {
+        let mut w: World<u32> = WorldBuilder::new(2)
+            .initial_graph(generate::ring(4))
+            .driver(Scripted::new(vec![(
+                Time::from_ticks(3),
+                ChurnAction::Leave(ProcessId::from_raw(1)),
+            )]))
+            .spawn(|_| Box::new(Echo { received: 0 }))
+            .build();
+        // Delivery at t=6, after p1 left at t=3.
+        w.inject(Time::from_ticks(6), ProcessId::from_raw(1), 0);
+        w.run_to_quiescence();
+        assert_eq!(w.metrics().drops, 1);
+        assert_eq!(w.metrics().delivers, 0);
+        assert_eq!(w.metrics().leaves, 1);
+        assert_eq!(w.members().len(), 3);
+    }
+
+    #[test]
+    fn churn_preserves_membership_size_under_balanced_driver() {
+        let spec = ChurnSpec::rate(0.25, TimeDelta::ticks(5)).unwrap();
+        let mut w: World<u32> = WorldBuilder::new(3)
+            .initial_graph(generate::ring(8))
+            .driver(BalancedChurn::new(spec))
+            .spawn(|_| Box::new(Echo { received: 0 }))
+            .build();
+        w.run_until(Time::from_ticks(100));
+        assert_eq!(w.members().len(), 8, "balanced churn preserves size");
+        assert!(w.metrics().joins > 8, "churn actually happened");
+        assert_eq!(
+            w.metrics().joins as u64 - 8,
+            w.metrics().leaves,
+            "every join after start pairs with a leave"
+        );
+    }
+
+    #[test]
+    fn trace_records_presence_correctly_under_churn() {
+        let spec = ChurnSpec::rate(0.5, TimeDelta::ticks(4)).unwrap();
+        let mut w: World<u32> = WorldBuilder::new(4)
+            .initial_graph(generate::ring(6))
+            .driver(BalancedChurn::new(spec))
+            .spawn(|_| Box::new(Echo { received: 0 }))
+            .build();
+        w.run_until(Time::from_ticks(40));
+        let presence = w.trace().presence();
+        assert_eq!(presence.max_concurrency(), 6);
+        let members_now: Vec<ProcessId> = w.members();
+        let from_trace = presence.members_at(w.now());
+        assert_eq!(members_now, from_trace);
+    }
+
+    #[test]
+    fn values_are_retained_for_departed_processes() {
+        let mut w: World<u32> = WorldBuilder::new(5)
+            .initial_graph(generate::ring(3))
+            .driver(Scripted::new(vec![(
+                Time::from_ticks(2),
+                ChurnAction::Leave(ProcessId::from_raw(0)),
+            )]))
+            .spawn(|_| Box::new(Echo { received: 0 }))
+            .values(|pid, _| pid.as_raw() as f64 * 10.0)
+            .build();
+        w.run_to_quiescence();
+        assert_eq!(w.value_of(ProcessId::from_raw(0)), Some(0.0));
+        assert_eq!(w.value_of(ProcessId::from_raw(2)), Some(20.0));
+        assert_eq!(w.value_of(ProcessId::from_raw(99)), None);
+    }
+
+    #[test]
+    fn insert_between_splices_topology() {
+        let mut w: World<u32> = WorldBuilder::new(6)
+            .initial_graph(generate::path(2))
+            .driver(Scripted::new(vec![(
+                Time::from_ticks(2),
+                ChurnAction::InsertBetween(ProcessId::from_raw(0), ProcessId::from_raw(1)),
+            )]))
+            .spawn(|_| Box::new(Echo { received: 0 }))
+            .build();
+        w.run_to_quiescence();
+        assert_eq!(w.members().len(), 3);
+        let new = ProcessId::from_raw(2);
+        assert!(w.graph().has_edge(ProcessId::from_raw(0), new));
+        assert!(w.graph().has_edge(new, ProcessId::from_raw(1)));
+        assert!(!w.graph().has_edge(ProcessId::from_raw(0), ProcessId::from_raw(1)));
+        assert_eq!(
+            dds_net::algo::diameter(w.graph()),
+            Some(2),
+            "path stretched from 1 to 2"
+        );
+    }
+
+    /// An actor that leaves as soon as it receives any message.
+    struct Quitter;
+
+    impl Actor<u32> for Quitter {
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: ProcessId, _: u32) {
+            ctx.leave();
+        }
+    }
+
+    #[test]
+    fn actor_initiated_leave_departs_and_notifies() {
+        let mut w: World<u32> = WorldBuilder::new(7)
+            .initial_graph(generate::ring(4))
+            .spawn(|_| Box::new(Quitter))
+            .build();
+        w.inject(Time::from_ticks(1), ProcessId::from_raw(2), 0);
+        w.run_to_quiescence();
+        assert_eq!(w.members().len(), 3);
+        assert_eq!(w.metrics().leaves, 1);
+        // The departed actor remains inspectable.
+        assert!(w.actor::<Quitter>(ProcessId::from_raw(2)).is_some());
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut w = echo_world(8);
+        w.run_until(Time::from_ticks(50));
+        assert_eq!(w.now(), Time::from_ticks(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn inject_into_the_past_panics() {
+        let mut w = echo_world(9);
+        w.run_until(Time::from_ticks(10));
+        w.inject(Time::from_ticks(5), ProcessId::from_raw(0), 0);
+    }
+}

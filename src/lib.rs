@@ -1,0 +1,45 @@
+//! # dds — dynamic distributed systems
+//!
+//! A full reproduction of *"Looking for a Definition of Dynamic Distributed
+//! Systems"* (Baldoni, Bertier, Raynal, Tucci-Piergiovanni, PaCT 2007) as a
+//! Rust workspace, plus the reliable-object layer of the companion tutorial
+//! by Guerraoui & Raynal.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`core`] (`dds-core`) — the model: arrival taxonomy, knowledge
+//!   dimension, system-class lattice, problem specifications, the
+//!   solvability map;
+//! - [`sim`] (`dds-sim`) — the deterministic discrete-event simulator;
+//! - [`net`] (`dds-net`) — knowledge graphs, generators, dynamics;
+//! - [`protocols`] (`dds-protocols`) — the one-time-query protocol family
+//!   and the experiment harness;
+//! - [`registers`] (`dds-registers`) — reliable registers and consensus
+//!   from unreliable base objects.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dds::net::generate;
+//! use dds::protocols::{ProtocolKind, QueryScenario};
+//!
+//! // A 16-node torus overlay, one-time count query via the wave protocol.
+//! let scenario = QueryScenario::new(
+//!     generate::torus(4, 4),
+//!     ProtocolKind::FloodEcho { ttl: 8 },
+//! );
+//! let run = scenario.run();
+//! assert!(run.report.level.is_interval_valid());
+//! assert_eq!(run.outcome.value, 16.0);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and EXPERIMENTS.md for the
+//! paper-claim reproduction index.
+
+#![warn(missing_docs)]
+
+pub use dds_core as core;
+pub use dds_net as net;
+pub use dds_protocols as protocols;
+pub use dds_registers as registers;
+pub use dds_sim as sim;
