@@ -1,0 +1,61 @@
+//! `sweep_parallel` — throughput of the cross-seed sweep engine at 1
+//! worker vs N workers, on a representative churn scenario.
+//!
+//! This is the reproducibility anchor for the parallel-speedup claim: the
+//! same 20-seed sweep, once forced sequential and once on
+//! `available_parallelism()` workers. On a single-core host the two times
+//! coincide (minus pool overhead); on an m-core host the N-worker time
+//! should approach 1/min(m, 20) of the sequential one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_core::time::Time;
+use dds_net::generate;
+use dds_protocols::harness::run_sweep;
+use dds_protocols::{DriverSpec, ProtocolKind, QueryScenario};
+use dds_sim::parallel;
+use std::hint::black_box;
+
+fn sweep_scenario() -> QueryScenario {
+    let mut s = QueryScenario::new(generate::torus(5, 5), ProtocolKind::FloodEcho { ttl: 8 });
+    s.deadline = Time::from_ticks(500);
+    s.driver = DriverSpec::Balanced {
+        rate: 0.2,
+        window: 10,
+        crash_fraction: 0.3,
+    };
+    s
+}
+
+fn bench_sweep_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_parallel");
+    let native = parallel::thread_count();
+    for (label, threads) in [("1-thread", 1usize), ("N-thread", native)] {
+        group.bench_with_input(
+            BenchmarkId::new("torus5x5_20seeds", label),
+            &threads,
+            |b, &threads| {
+                let scenario = sweep_scenario();
+                b.iter(|| {
+                    let cells: Vec<QueryScenario> = (0..20u64)
+                        .map(|seed| {
+                            let mut s = scenario.clone();
+                            s.seed = seed;
+                            s
+                        })
+                        .collect();
+                    black_box(parallel::parallel_map_with(threads, cells, |s| s.run()))
+                })
+            },
+        );
+    }
+    // The same sweep through the public harness entry point (which sizes
+    // its pool from DDS_THREADS / available_parallelism).
+    group.bench_function(BenchmarkId::from_parameter("run_sweep"), |b| {
+        let scenario = sweep_scenario();
+        b.iter(|| black_box(run_sweep(&scenario, 0..20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_parallel);
+criterion_main!(benches);

@@ -1,25 +1,95 @@
 //! Prints the experiment tables recorded in EXPERIMENTS.md.
 //!
-//! Usage: `run_experiments [e1 e2 … a2 | all]` (default: all).
+//! Usage: `run_experiments [--json] [e1 e2 … a2 | all]` (default: all).
+//!
+//! With `--json`, per-experiment wall-clock timing is additionally written
+//! to `BENCH_sweeps.json` in the current directory: one record per
+//! experiment with the elapsed milliseconds and the achieved
+//! simulation-runs-per-second throughput, plus the thread count the sweep
+//! pool used (see `DDS_THREADS`).
+
+use std::time::Instant;
 
 use dds_bench::registry;
 
+/// Timing record for one experiment run.
+struct Timing {
+    id: &'static str,
+    wall_ms: f64,
+    runs: u64,
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let mut json = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .map(|a| a.to_lowercase())
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     let want_all = args.is_empty() || args.iter().any(|a| a == "all");
-    let mut ran = 0;
+    let mut timings: Vec<Timing> = Vec::new();
     for (id, build) in registry() {
         if !want_all && !args.iter().any(|a| a == id) {
             continue;
         }
+        let start = Instant::now();
         let e = build();
+        let wall = start.elapsed();
         println!("== {} — {}\n", e.id, e.title);
         println!("{}", e.table);
-        ran += 1;
+        timings.push(Timing {
+            id,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            runs: e.rows.values().map(|r| u64::from(r.runs)).sum(),
+        });
     }
-    if ran == 0 {
+    if timings.is_empty() {
         eprintln!("unknown experiment ids; known: e1..e10, a1..a4, all");
         std::process::exit(2);
     }
     println!("(seeds fixed; rerunning reproduces these tables bit-for-bit)");
+    if json {
+        let path = "BENCH_sweeps.json";
+        match std::fs::write(path, render_json(&timings)) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(err) => {
+                eprintln!("cannot write {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Renders the timing records as a small self-contained JSON document (no
+/// serializer dependency; every field is numeric or a known-safe id).
+fn render_json(timings: &[Timing]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"experiments\": [\n",
+        dds_sim::parallel::thread_count()
+    ));
+    for (i, t) in timings.iter().enumerate() {
+        let runs_per_sec = if t.wall_ms > 0.0 {
+            t.runs as f64 / (t.wall_ms / 1e3)
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.1}}}{}\n",
+            t.id,
+            t.wall_ms,
+            t.runs,
+            runs_per_sec,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -19,6 +19,7 @@ use dds_core::time::{Time, TimeDelta};
 use dds_net::generate;
 use dds_protocols::harness::{success_rate, SweepRow};
 use dds_protocols::{DriverSpec, ProtocolKind, QueryScenario};
+use dds_sim::parallel::parallel_map;
 use dds_registers::base::ObjectState;
 use dds_registers::consensus::run_consensus;
 use dds_registers::harness::run_schedule;
@@ -279,7 +280,9 @@ pub fn e6_registers() -> Experiment {
         vec![RegOp::Read; 4],
     ];
     let ops = 12u64;
-    for t in [1usize, 2, 4, 8] {
+    // Each tolerance level is an independent pair of scheduler runs, so the
+    // column is computed on the sweep pool and assembled in order.
+    let lines = parallel_map(vec![1usize, 2, 4, 8], |t| {
         let resp = run_schedule(
             Construction::ResponsiveAll { write_back: true },
             t,
@@ -296,15 +299,17 @@ pub fn e6_registers() -> Experiment {
         );
         // Steps ≈ base accesses (one access per scheduler step after
         // invocation steps).
-        let _ = writeln!(
-            e.table,
+        format!(
             "{:<6} {:>14} {:>16.1} {:>16} {:>18.1}",
             t,
             t + 1,
             resp.steps as f64 / ops as f64,
             2 * t + 1,
             maj.steps as f64 / ops as f64,
-        );
+        )
+    });
+    for line in lines {
+        let _ = writeln!(e.table, "{line}");
     }
     let _ = writeln!(
         e.table,
@@ -323,7 +328,8 @@ pub fn e7_consensus() -> Experiment {
         "t", "objects", "resp. accesses", "resp. ok?", "nonresp. blocked procs"
     );
     let proposals = [11u64, 22, 33, 44, 55];
-    for t in [1usize, 2, 4, 8] {
+    // Independent consensus instances per tolerance level: fan them out.
+    let lines = parallel_map(vec![1usize, 2, 4, 8], |t| {
         // Responsive: crash the first t objects; still correct.
         let crashes: BTreeMap<usize, ObjectState> = (0..t)
             .map(|i| (i, ObjectState::CrashedResponsive))
@@ -335,15 +341,17 @@ pub fn e7_consensus() -> Experiment {
         let nr: BTreeMap<usize, ObjectState> =
             [(0, ObjectState::CrashedNonresponsive)].into();
         let (_, blocked_nr, _) = run_consensus(t, &proposals, &nr, 3);
-        let _ = writeln!(
-            e.table,
+        format!(
             "{:<6} {:>10} {:>16} {:>12} {:>22}",
             t,
             t + 1,
             bank.total_accesses(),
             if report.is_correct() { "yes" } else { "NO" },
             blocked_nr.len(),
-        );
+        )
+    });
+    for line in lines {
+        let _ = writeln!(e.table, "{line}");
     }
     let _ = writeln!(
         e.table,
@@ -624,7 +632,7 @@ pub fn a4_membership() -> Experiment {
                     })
                     .build();
                 world.run_until(Time::from_ticks(200));
-                for pid in world.members() {
+                for &pid in world.members() {
                     let hb: &HeartbeatActor = world.actor(pid).expect("present");
                     total += hb.suspicions_raised();
                 }

@@ -1,0 +1,37 @@
+//! Parallelism must change wall-clock only, never results.
+//!
+//! The sweep engine (`dds_sim::parallel`) promises that a multi-seed sweep
+//! is bit-identical at any thread count: each (scenario, seed) cell owns
+//! its world and RNG, and results are folded in input order. This test
+//! pins that promise at the highest level we have — two full experiment
+//! tables, rendered to text, compared byte for byte between a sequential
+//! and an 8-worker run.
+
+use dds_bench::{e2_churn, e8_landscape};
+
+/// One test covers both settings because `DDS_THREADS` is process-global
+/// state: splitting it into per-setting `#[test]`s would race with the
+/// test harness's own thread-level parallelism.
+#[test]
+fn tables_are_identical_across_thread_counts() {
+    std::env::set_var("DDS_THREADS", "1");
+    let e2_seq = e2_churn();
+    let e8_seq = e8_landscape();
+    std::env::set_var("DDS_THREADS", "8");
+    let e2_par = e2_churn();
+    let e8_par = e8_landscape();
+    std::env::remove_var("DDS_THREADS");
+    assert_eq!(
+        e2_seq.table, e2_par.table,
+        "E2 table changed with thread count"
+    );
+    assert_eq!(
+        e8_seq.table, e8_par.table,
+        "E8 table changed with thread count"
+    );
+    // Structured rows too — via Debug, so NaN cells (a sweep with no
+    // terminated run has NaN mean error) compare as text instead of
+    // failing NaN != NaN.
+    assert_eq!(format!("{:?}", e2_seq.rows), format!("{:?}", e2_par.rows));
+    assert_eq!(format!("{:?}", e8_seq.rows), format!("{:?}", e8_par.rows));
+}

@@ -264,9 +264,7 @@ pub fn articulation_points(graph: &Graph) -> BTreeSet<ProcessId> {
             let nbrs: Vec<ProcessId> = graph
                 .neighbors(u)
                 .expect("node on stack exists")
-                .iter()
-                .copied()
-                .collect();
+                .to_vec();
             if *idx < nbrs.len() {
                 let v = nbrs[*idx];
                 *idx += 1;

@@ -91,11 +91,12 @@ pub enum RepairRule {
 
 impl RepairRule {
     /// Applies the rule: removes `leaver` from `graph` and optionally
-    /// repairs around the hole. Returns the former neighbors.
-    pub fn detach(&self, graph: &mut Graph, leaver: ProcessId) -> BTreeSet<ProcessId> {
+    /// repairs around the hole. Returns the former neighbors in identity
+    /// order.
+    pub fn detach(&self, graph: &mut Graph, leaver: ProcessId) -> Vec<ProcessId> {
         let neighbors = graph.remove_node(leaver);
         if let RepairRule::BridgeNeighbors = self {
-            let ring: Vec<ProcessId> = neighbors.iter().copied().collect();
+            let ring = &neighbors;
             if ring.len() >= 2 {
                 for i in 0..ring.len() {
                     let a = ring[i];

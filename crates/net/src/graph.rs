@@ -6,9 +6,12 @@
 //! while queries are in flight, which is precisely the difficulty the
 //! one-time query has to survive.
 //!
-//! The representation is adjacency sets in a `BTreeMap`, chosen so that
-//! iteration order is deterministic — a requirement for reproducible
-//! simulation (DESIGN.md §7).
+//! The representation is sorted adjacency vectors in a `BTreeMap`, chosen
+//! so that iteration order is deterministic — a requirement for
+//! reproducible simulation (DESIGN.md §7) — while neighbor scans are
+//! cache-friendly contiguous slices on the simulator's hottest path
+//! (every actor callback reads a neighbor list). The edge count is cached
+//! so `edge_count` is O(1) instead of a full adjacency walk.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -33,7 +36,10 @@ use dds_core::process::ProcessId;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Graph {
-    adj: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+    /// Adjacency lists, each kept sorted by identity.
+    adj: BTreeMap<ProcessId, Vec<ProcessId>>,
+    /// Cached number of undirected edges.
+    edges: usize,
 }
 
 impl Graph {
@@ -49,15 +55,18 @@ impl Graph {
 
     /// Removes a node and every edge incident to it.
     ///
-    /// Returns the former neighbors (useful for repair rules). Returns an
-    /// empty set when the node was absent.
-    pub fn remove_node(&mut self, node: ProcessId) -> BTreeSet<ProcessId> {
+    /// Returns the former neighbors in identity order (useful for repair
+    /// rules). Returns an empty list when the node was absent.
+    pub fn remove_node(&mut self, node: ProcessId) -> Vec<ProcessId> {
         let neighbors = self.adj.remove(&node).unwrap_or_default();
         for n in &neighbors {
-            if let Some(set) = self.adj.get_mut(n) {
-                set.remove(&node);
+            if let Some(list) = self.adj.get_mut(n) {
+                if let Ok(i) = list.binary_search(&node) {
+                    list.remove(i);
+                }
             }
         }
+        self.edges -= neighbors.len();
         neighbors
     }
 
@@ -71,18 +80,27 @@ impl Graph {
         assert_ne!(a, b, "self-loop in knowledge graph");
         assert!(self.adj.contains_key(&a), "edge endpoint {a} absent");
         assert!(self.adj.contains_key(&b), "edge endpoint {b} absent");
-        self.adj.get_mut(&a).expect("checked").insert(b);
-        self.adj.get_mut(&b).expect("checked").insert(a);
+        let list_a = self.adj.get_mut(&a).expect("checked");
+        if let Err(i) = list_a.binary_search(&b) {
+            list_a.insert(i, b);
+            let list_b = self.adj.get_mut(&b).expect("checked");
+            let j = list_b.binary_search(&a).expect_err("edge was absent");
+            list_b.insert(j, a);
+            self.edges += 1;
+        }
     }
 
     /// Removes the undirected edge `{a, b}` if present.
     pub fn remove_edge(&mut self, a: ProcessId, b: ProcessId) {
-        if let Some(set) = self.adj.get_mut(&a) {
-            set.remove(&b);
+        let Some(list_a) = self.adj.get_mut(&a) else { return };
+        let Ok(i) = list_a.binary_search(&b) else { return };
+        list_a.remove(i);
+        if let Some(list_b) = self.adj.get_mut(&b) {
+            if let Ok(j) = list_b.binary_search(&a) {
+                list_b.remove(j);
+            }
         }
-        if let Some(set) = self.adj.get_mut(&b) {
-            set.remove(&a);
-        }
+        self.edges -= 1;
     }
 
     /// `true` when the node is present.
@@ -92,17 +110,20 @@ impl Graph {
 
     /// `true` when the edge `{a, b}` is present.
     pub fn has_edge(&self, a: ProcessId, b: ProcessId) -> bool {
-        self.adj.get(&a).is_some_and(|s| s.contains(&b))
+        self.adj
+            .get(&a)
+            .is_some_and(|list| list.binary_search(&b).is_ok())
     }
 
-    /// The neighbors of a node, or `None` when the node is absent.
-    pub fn neighbors(&self, node: ProcessId) -> Option<&BTreeSet<ProcessId>> {
-        self.adj.get(&node)
+    /// The neighbors of a node in identity order, or `None` when the node
+    /// is absent.
+    pub fn neighbors(&self, node: ProcessId) -> Option<&[ProcessId]> {
+        self.adj.get(&node).map(Vec::as_slice)
     }
 
     /// The degree of a node, or `None` when the node is absent.
     pub fn degree(&self, node: ProcessId) -> Option<usize> {
-        self.adj.get(&node).map(BTreeSet::len)
+        self.adj.get(&node).map(Vec::len)
     }
 
     /// Number of nodes.
@@ -110,9 +131,9 @@ impl Graph {
         self.adj.len()
     }
 
-    /// Number of undirected edges.
+    /// Number of undirected edges (cached, O(1)).
     pub fn edge_count(&self) -> usize {
-        self.adj.values().map(BTreeSet::len).sum::<usize>() / 2
+        self.edges
     }
 
     /// `true` when the graph has no node.
@@ -231,7 +252,7 @@ mod tests {
     fn remove_node_returns_neighbors_and_cleans_edges() {
         let mut g = triangle();
         let nbrs = g.remove_node(pid(1));
-        assert_eq!(nbrs, BTreeSet::from([pid(0), pid(2)]));
+        assert_eq!(nbrs, vec![pid(0), pid(2)]);
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 1);
         assert!(!g.has_edge(pid(0), pid(1)));

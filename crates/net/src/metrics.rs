@@ -32,9 +32,7 @@ pub fn clustering_coefficient(graph: &Graph) -> f64 {
         let nbrs: Vec<_> = graph
             .neighbors(u)
             .expect("iterating own nodes")
-            .iter()
-            .copied()
-            .collect();
+            .to_vec();
         let d = nbrs.len();
         triads += d.saturating_sub(1) * d / 2;
         for i in 0..d {

@@ -404,20 +404,33 @@ impl fmt::Display for QueryRun {
     }
 }
 
-/// Runs `scenario` across `seeds` and reports the fraction of runs whose
-/// outcome is interval-valid, plus mean relative error and mean messages —
-/// the row format of the churn experiments.
-pub fn success_rate(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u64>) -> SweepRow {
+/// Runs `scenario` once per seed — one independent world per cell, fanned
+/// across the sweep thread pool (`DDS_THREADS`; see [`dds_sim::parallel`])
+/// — and returns the judged runs **in seed order**. Each cell owns its
+/// world and RNG, so the result vector is bit-identical at any thread
+/// count.
+pub fn run_sweep(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u64>) -> Vec<QueryRun> {
+    let cells: Vec<QueryScenario> = seeds
+        .into_iter()
+        .map(|seed| {
+            let mut s = scenario.clone();
+            s.seed = seed;
+            s
+        })
+        .collect();
+    dds_sim::parallel::parallel_map(cells, |s| s.run())
+}
+
+/// Aggregates judged runs into the experiment row format, folding in input
+/// order so the row is independent of sweep scheduling.
+pub fn fold_sweep(runs: &[QueryRun]) -> SweepRow {
     let mut total = 0u32;
     let mut valid = 0u32;
     let mut terminated = 0u32;
     let mut err_sum = 0.0;
     let mut err_count = 0u32;
     let mut msg_sum = 0u64;
-    for seed in seeds {
-        let mut s = scenario.clone();
-        s.seed = seed;
-        let run = s.run();
+    for run in runs {
         total += 1;
         if run.report.level.is_interval_valid() {
             valid += 1;
@@ -446,6 +459,14 @@ pub fn success_rate(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u6
             0.0
         },
     }
+}
+
+/// Runs `scenario` across `seeds` (in parallel; see [`run_sweep`]) and
+/// reports the fraction of runs whose outcome is interval-valid, plus mean
+/// relative error and mean messages — the row format of the churn
+/// experiments.
+pub fn success_rate(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u64>) -> SweepRow {
+    fold_sweep(&run_sweep(scenario, seeds))
 }
 
 /// Aggregated result of a multi-seed sweep.

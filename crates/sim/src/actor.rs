@@ -69,6 +69,10 @@ pub(crate) enum Effect<M> {
 }
 
 /// The actor's window onto the world during one callback.
+///
+/// The effect buffer is borrowed from the kernel and reused across
+/// callbacks, so a steady-state run allocates nothing per dispatched
+/// event.
 #[derive(Debug)]
 pub struct Context<'a, M> {
     pid: ProcessId,
@@ -77,7 +81,7 @@ pub struct Context<'a, M> {
     neighbors: &'a [ProcessId],
     rng: &'a mut Rng,
     next_timer: &'a mut u64,
-    pub(crate) effects: Vec<Effect<M>>,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -88,6 +92,7 @@ impl<'a, M> Context<'a, M> {
         neighbors: &'a [ProcessId],
         rng: &'a mut Rng,
         next_timer: &'a mut u64,
+        effects: &'a mut Vec<Effect<M>>,
     ) -> Self {
         Context {
             pid,
@@ -96,7 +101,7 @@ impl<'a, M> Context<'a, M> {
             neighbors,
             rng,
             next_timer,
-            effects: Vec::new(),
+            effects,
         }
     }
 
@@ -169,6 +174,7 @@ mod tests {
     fn context_buffers_effects_in_order() {
         let mut rng = Rng::seeded(0);
         let mut next_timer = 0;
+        let mut effects = Vec::new();
         let neighbors = [ProcessId::from_raw(1), ProcessId::from_raw(2)];
         let mut ctx: Context<'_, &str> = Context::new(
             ProcessId::from_raw(0),
@@ -177,6 +183,7 @@ mod tests {
             &neighbors,
             &mut rng,
             &mut next_timer,
+            &mut effects,
         );
         assert_eq!(ctx.pid(), ProcessId::from_raw(0));
         assert_eq!(ctx.now(), Time::from_ticks(5));
@@ -203,6 +210,7 @@ mod tests {
     fn broadcast_sends_to_each_neighbor() {
         let mut rng = Rng::seeded(0);
         let mut next_timer = 0;
+        let mut effects = Vec::new();
         let neighbors = [ProcessId::from_raw(1), ProcessId::from_raw(2)];
         let mut ctx: Context<'_, u8> = Context::new(
             ProcessId::from_raw(0),
@@ -211,6 +219,7 @@ mod tests {
             &neighbors,
             &mut rng,
             &mut next_timer,
+            &mut effects,
         );
         ctx.broadcast(9);
         assert_eq!(ctx.effects.len(), 2);
@@ -220,6 +229,7 @@ mod tests {
     fn zero_delay_timer_rounds_up() {
         let mut rng = Rng::seeded(0);
         let mut next_timer = 7;
+        let mut effects = Vec::new();
         let mut ctx: Context<'_, u8> = Context::new(
             ProcessId::from_raw(0),
             Time::ZERO,
@@ -227,6 +237,7 @@ mod tests {
             &[],
             &mut rng,
             &mut next_timer,
+            &mut effects,
         );
         let id = ctx.set_timer(TimeDelta::ZERO);
         assert_eq!(id, TimerId(7));

@@ -12,7 +12,8 @@
 //!   adversaries used in the impossibility experiments;
 //! - [`delay`] — message delay/loss models realizing the timing dimension;
 //! - [`event`] — the deterministic event queue;
-//! - [`metrics`] — run counters.
+//! - [`metrics`] — run counters;
+//! - [`parallel`] — cross-seed parallel sweep execution (`DDS_THREADS`).
 //!
 //! Determinism contract: a run is a pure function of the builder
 //! configuration and the seed. No wall clock, no OS randomness, no hash
@@ -52,6 +53,7 @@ pub mod delay;
 pub mod driver;
 pub mod event;
 pub mod metrics;
+pub mod parallel;
 pub mod partition;
 pub mod world;
 

@@ -1,0 +1,167 @@
+//! Cross-seed parallel execution of independent simulations.
+//!
+//! Every run of a [`crate::world::World`] is a pure function of its builder
+//! configuration and seed (DESIGN.md §7): it owns its RNG, graph and event
+//! queue, touches no global state, and reads no wall clock. A *sweep* — the
+//! same scenario evaluated across many seeds, or many scenario cells — is
+//! therefore embarrassingly parallel: cells can run on any thread in any
+//! order without perturbing each other's results. [`parallel_map`] exploits
+//! that: it fans a work list across a scoped thread pool and collects the
+//! results **in input order**, so the output is byte-identical no matter how
+//! many workers ran or how the OS scheduled them.
+//!
+//! The pool size defaults to [`std::thread::available_parallelism`] and can
+//! be overridden with the `DDS_THREADS` environment variable; in particular
+//! `DDS_THREADS=1` runs the work sequentially on the calling thread,
+//! reproducing the pre-parallel behaviour bit for bit.
+//!
+//! No dependencies: the pool is `std::thread::scope` plus an atomic work
+//! index, and per-cell hand-off uses `Mutex<Option<T>>` slots.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads a sweep will use.
+///
+/// Reads `DDS_THREADS` (a positive integer) if set and well-formed,
+/// otherwise [`std::thread::available_parallelism`], falling back to 1 when
+/// even that is unavailable.
+pub fn thread_count() -> usize {
+    let from_env = std::env::var("DDS_THREADS")
+        .ok()
+        .and_then(|s| parse_threads(&s));
+    from_env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Parses a `DDS_THREADS` value: a positive decimal integer. Zero, empty,
+/// or garbage values are rejected (the caller falls back to the default).
+fn parse_threads(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Maps `f` over `items` using [`thread_count`] workers, returning results
+/// in input order.
+///
+/// See [`parallel_map_with`] for the semantics.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(thread_count(), items, f)
+}
+
+/// Maps `f` over `items` using at most `threads` workers, returning results
+/// in input order.
+///
+/// With `threads <= 1` (or a single item) the map runs sequentially on the
+/// calling thread — no pool, no atomics — which is exactly the historical
+/// sequential code path. With more threads, workers claim items through an
+/// atomic cursor and write each result into the slot matching its input
+/// index, so the returned `Vec` is independent of scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` once all workers have finished (the
+/// behaviour of [`std::thread::scope`]).
+pub fn parallel_map_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(jobs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let item = jobs[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("each job is claimed exactly once");
+                let result = f(item);
+                *slots[i].lock().expect("slot mutex poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 8, 200] {
+            let got = parallel_map_with(threads, items.clone(), |x| x * x);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_stateful_work() {
+        // Each cell seeds its own PRNG from its input, mimicking one
+        // (scenario, seed) simulation cell.
+        let run = |seed: u64| {
+            let mut rng = dds_core::rng::Rng::seeded(seed);
+            (0..1000).map(|_| rng.next_u64() & 0xff).sum::<u64>()
+        };
+        let seeds: Vec<u64> = (0..32).collect();
+        let seq = parallel_map_with(1, seeds.clone(), run);
+        let par = parallel_map_with(8, seeds, run);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map_with(4, empty, |x| x).is_empty());
+        assert_eq!(parallel_map_with(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let got = parallel_map_with(64, vec![1, 2, 3], |x| x * 10);
+        assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads(" 8 "), Some(8));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("four"), None);
+        assert_eq!(parse_threads("-2"), None);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -183,10 +183,12 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             actors: BTreeMap::new(),
             departed: BTreeMap::new(),
             values: BTreeMap::new(),
+            members: Vec::new(),
             trace: Trace::new(),
             metrics: Metrics::default(),
             next_timer: 0,
             callbacks: VecDeque::new(),
+            effect_buf: Vec::new(),
         };
         let intent = world.driver.intent();
         world
@@ -203,10 +205,10 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             world.metrics.joins += 1;
         }
         world.graph = initial;
+        world.members = world.graph.nodes().collect();
         world.metrics.max_membership = world.graph.node_count();
-        let starts: Vec<ProcessId> = world.graph.nodes().collect();
-        for pid in starts {
-            world.callbacks.push_back(Callback::Start(pid));
+        for i in 0..world.members.len() {
+            world.callbacks.push_back(Callback::Start(world.members[i]));
         }
         world.drain_callbacks();
         if let Some(t) = world.driver.initial_wakeup() {
@@ -259,10 +261,16 @@ pub struct World<M> {
     actors: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
     departed: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
     values: BTreeMap<ProcessId, f64>,
+    /// Membership cache mirroring `graph`'s node set in identity order —
+    /// maintained on join/depart so `members()` never re-collects.
+    members: Vec<ProcessId>,
     trace: Trace,
     metrics: Metrics,
     next_timer: u64,
     callbacks: VecDeque<Callback<M>>,
+    /// Reusable effect buffer handed to each callback's `Context`, so a
+    /// steady-state dispatch allocates nothing.
+    effect_buf: Vec<Effect<M>>,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -282,9 +290,10 @@ impl<M: Clone + 'static> World<M> {
         self.now
     }
 
-    /// The current membership, in identity order.
-    pub fn members(&self) -> Vec<ProcessId> {
-        self.graph.nodes().collect()
+    /// The current membership, in identity order. Borrows a cached list —
+    /// call `.to_vec()` if you need an owned copy.
+    pub fn members(&self) -> &[ProcessId] {
+        &self.members
     }
 
     /// The current knowledge graph.
@@ -416,16 +425,12 @@ impl<M: Clone + 'static> World<M> {
             ChurnAction::Leave(pid) => self.depart(pid, false),
             ChurnAction::Crash(pid) => self.depart(pid, true),
             ChurnAction::LeaveRandom => {
-                if let Some(&pid) = {
-                    let members: Vec<ProcessId> = self.graph.nodes().collect();
-                    self.rng.choose(&members).copied().as_ref()
-                } {
+                if let Some(&pid) = self.rng.choose(&self.members) {
                     self.depart(pid, false);
                 }
             }
             ChurnAction::CrashRandom => {
-                let members: Vec<ProcessId> = self.graph.nodes().collect();
-                if let Some(&pid) = self.rng.choose(&members) {
+                if let Some(&pid) = self.rng.choose(&self.members) {
                     self.depart(pid, true);
                 }
             }
@@ -477,6 +482,9 @@ impl<M: Clone + 'static> World<M> {
                 vec![a, b]
             }
         };
+        if let Err(i) = self.members.binary_search(&pid) {
+            self.members.insert(i, pid);
+        }
         let actor = (self.spawn)(pid);
         self.actors.insert(pid, actor);
         self.trace.push(TraceEvent::Join { pid, at: self.now });
@@ -497,7 +505,7 @@ impl<M: Clone + 'static> World<M> {
         let nbrs: Vec<ProcessId> = self
             .graph
             .neighbors(pid)
-            .map(|s| s.iter().copied().collect())
+            .map(|s| s.to_vec())
             .unwrap_or_default();
         let mut pre_connected = Vec::new();
         for i in 0..nbrs.len() {
@@ -508,6 +516,9 @@ impl<M: Clone + 'static> World<M> {
             }
         }
         self.policy.repair.detach(&mut self.graph, pid);
+        if let Ok(i) = self.members.binary_search(&pid) {
+            self.members.remove(i);
+        }
         if let Some(actor) = self.actors.remove(&pid) {
             self.departed.insert(pid, actor);
         }
@@ -558,20 +569,23 @@ impl<M: Clone + 'static> World<M> {
         let Some(mut actor) = self.actors.remove(&pid) else {
             return; // departed between scheduling and dispatch
         };
-        let neighbors: Vec<ProcessId> = self
-            .graph
-            .neighbors(pid)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
         let value = self.values.get(&pid).copied().unwrap_or(0.0);
-        let effects = {
+        // Borrow the neighbor slice straight out of the graph and hand the
+        // kernel's reusable effect buffer to the context: no per-dispatch
+        // allocation. The graph cannot change while the callback runs (all
+        // mutation is deferred through the effect buffer and callback
+        // queue), so the slice stays valid.
+        let mut effects = std::mem::take(&mut self.effect_buf);
+        {
+            let neighbors = self.graph.neighbors(pid).unwrap_or(&[]);
             let mut ctx = Context::new(
                 pid,
                 self.now,
                 value,
-                &neighbors,
+                neighbors,
                 &mut self.rng,
                 &mut self.next_timer,
+                &mut effects,
             );
             match cb {
                 Callback::Start(_) => actor.on_start(&mut ctx),
@@ -583,14 +597,14 @@ impl<M: Clone + 'static> World<M> {
                     actor.on_neighbor_bridge(&mut ctx, peer, replaced)
                 }
             }
-            ctx.effects
-        };
+        }
         self.actors.insert(pid, actor);
-        self.apply_effects(pid, effects);
+        self.apply_effects(pid, &mut effects);
+        self.effect_buf = effects;
     }
 
-    fn apply_effects(&mut self, pid: ProcessId, effects: Vec<Effect<M>>) {
-        for effect in effects {
+    fn apply_effects(&mut self, pid: ProcessId, effects: &mut Vec<Effect<M>>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
                     self.metrics.sends += 1;
@@ -729,7 +743,7 @@ mod tests {
         w.run_until(Time::from_ticks(40));
         let presence = w.trace().presence();
         assert_eq!(presence.max_concurrency(), 6);
-        let members_now: Vec<ProcessId> = w.members();
+        let members_now: Vec<ProcessId> = w.members().to_vec();
         let from_trace = presence.members_at(w.now());
         assert_eq!(members_now, from_trace);
     }

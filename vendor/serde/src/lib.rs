@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types for
+//! future trace export, but no serializer backend is wired in, so the
+//! trait impls are never exercised. This crate provides the two trait
+//! names and re-exports no-op derive macros so the annotations compile
+//! without network access to crates.io.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
