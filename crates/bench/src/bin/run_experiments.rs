@@ -1,63 +1,110 @@
 //! Prints the experiment tables recorded in EXPERIMENTS.md.
 //!
-//! Usage: `run_experiments [--json] [e1 e2 … a2 | all]` (default: all).
+//! Usage: `run_experiments [--json] [--trace-dir <dir>] [e1 e2 … a2 | all]`
+//! (default: all).
 //!
-//! With `--json`, per-experiment wall-clock timing is additionally written
-//! to `BENCH_sweeps.json` in the current directory: one record per
-//! experiment with the elapsed milliseconds and the achieved
-//! simulation-runs-per-second throughput, plus the thread count the sweep
-//! pool used (see `DDS_THREADS`).
+//! With `--json`, per-experiment records are additionally written to
+//! `BENCH_sweeps.json` in the current directory: elapsed milliseconds,
+//! total simulated runs and runs-per-second throughput, merged kernel
+//! counters, and the pooled p50/p99 delivery-latency and event-queue-depth
+//! percentiles, plus the thread count the sweep pool used (`DDS_THREADS`).
+//! Everything except the wall-clock fields is byte-identical across thread
+//! counts.
+//!
+//! With `--trace-dir <dir>`, every sweep run's kernel trace is rendered as
+//! JSONL into `<dir>/<id>.jsonl` (one `{"t":"run",…}` header per run, in
+//! seed order), and any flight-recorder dumps produced by spec-violating
+//! runs are written to `<dir>/<id>_flight_<n>.jsonl` (at most
+//! [`MAX_FLIGHT_DUMPS`] per experiment).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use dds_bench::registry;
+use dds_protocols::obs as capture;
+use dds_sim::metrics::Metrics;
 
-/// Timing record for one experiment run.
-struct Timing {
+/// Cap on flight-dump files written per experiment; anything beyond it is
+/// reported on stderr rather than silently discarded.
+const MAX_FLIGHT_DUMPS: usize = 8;
+
+/// Per-experiment record for `BENCH_sweeps.json`.
+struct Record {
     id: &'static str,
     wall_ms: f64,
     runs: u64,
+    metrics: Metrics,
+    p50_delivery_latency: u64,
+    p99_delivery_latency: u64,
+    p50_queue_depth: u64,
+    p99_queue_depth: u64,
 }
 
 fn main() {
     let mut json = false;
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .map(|a| a.to_lowercase())
-        .filter(|a| {
-            if a == "--json" {
-                json = true;
-                false
-            } else {
-                true
+    let mut trace_dir: Option<PathBuf> = None;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--json" => json = true,
+            "--trace-dir" => {
+                i += 1;
+                match raw.get(i) {
+                    Some(dir) => trace_dir = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--trace-dir needs a directory argument");
+                        std::process::exit(2);
+                    }
+                }
             }
-        })
-        .collect();
+            other => args.push(other.to_lowercase()),
+        }
+        i += 1;
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {err}", dir.display());
+            std::process::exit(1);
+        }
+    }
     let want_all = args.is_empty() || args.iter().any(|a| a == "all");
-    let mut timings: Vec<Timing> = Vec::new();
+    let mut records: Vec<Record> = Vec::new();
     for (id, build) in registry() {
         if !want_all && !args.iter().any(|a| a == id) {
             continue;
         }
+        if trace_dir.is_some() {
+            capture::begin_capture();
+        }
         let start = Instant::now();
         let e = build();
         let wall = start.elapsed();
+        if let Some(dir) = &trace_dir {
+            write_captured(dir, id, capture::end_capture());
+        }
         println!("== {} — {}\n", e.id, e.title);
         println!("{}", e.table);
-        timings.push(Timing {
+        records.push(Record {
             id,
             wall_ms: wall.as_secs_f64() * 1e3,
-            runs: e.rows.values().map(|r| u64::from(r.runs)).sum(),
+            runs: e.total_runs(),
+            metrics: e.merged_metrics(),
+            p50_delivery_latency: e.latency.percentile(50.0),
+            p99_delivery_latency: e.latency.percentile(99.0),
+            p50_queue_depth: e.queue_depth.percentile(50.0),
+            p99_queue_depth: e.queue_depth.percentile(99.0),
         });
     }
-    if timings.is_empty() {
+    if records.is_empty() {
         eprintln!("unknown experiment ids; known: e1..e10, a1..a4, all");
         std::process::exit(2);
     }
     println!("(seeds fixed; rerunning reproduces these tables bit-for-bit)");
     if json {
         let path = "BENCH_sweeps.json";
-        match std::fs::write(path, render_json(&timings)) {
+        match std::fs::write(path, render_json(&records)) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(err) => {
                 eprintln!("cannot write {path}: {err}");
@@ -67,27 +114,61 @@ fn main() {
     }
 }
 
-/// Renders the timing records as a small self-contained JSON document (no
+/// Writes one experiment's captured traces and flight dumps under `dir`.
+fn write_captured(dir: &std::path::Path, id: &str, captured: capture::Captured) {
+    if !captured.traces.is_empty() {
+        let mut out = String::new();
+        for (i, trace) in captured.traces.iter().enumerate() {
+            out.push_str(&format!("{{\"t\":\"run\",\"index\":{i}}}\n"));
+            out.push_str(trace);
+        }
+        let path = dir.join(format!("{id}.jsonl"));
+        if let Err(err) = std::fs::write(&path, out) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+    let dumps = captured.flight_dumps.len();
+    for (n, dump) in captured.flight_dumps.iter().take(MAX_FLIGHT_DUMPS).enumerate() {
+        let path = dir.join(format!("{id}_flight_{n}.jsonl"));
+        if let Err(err) = std::fs::write(&path, dump) {
+            eprintln!("cannot write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if dumps > MAX_FLIGHT_DUMPS {
+        eprintln!("{id}: {dumps} flight dumps captured, wrote the first {MAX_FLIGHT_DUMPS}");
+    }
+}
+
+/// Renders the records as a small self-contained JSON document (no
 /// serializer dependency; every field is numeric or a known-safe id).
-fn render_json(timings: &[Timing]) -> String {
+fn render_json(records: &[Record]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"threads\": {},\n  \"experiments\": [\n",
         dds_sim::parallel::thread_count()
     ));
-    for (i, t) in timings.iter().enumerate() {
-        let runs_per_sec = if t.wall_ms > 0.0 {
-            t.runs as f64 / (t.wall_ms / 1e3)
+    for (i, r) in records.iter().enumerate() {
+        let runs_per_sec = if r.wall_ms > 0.0 {
+            r.runs as f64 / (r.wall_ms / 1e3)
         } else {
             0.0
         };
         out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.1}}}{}\n",
-            t.id,
-            t.wall_ms,
-            t.runs,
+            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.1}, \
+\"p50_delivery_latency\": {}, \"p99_delivery_latency\": {}, \
+\"p50_queue_depth\": {}, \"p99_queue_depth\": {}, \"metrics\": {}}}{}\n",
+            r.id,
+            r.wall_ms,
+            r.runs,
             runs_per_sec,
-            if i + 1 < timings.len() { "," } else { "" }
+            r.p50_delivery_latency,
+            r.p99_delivery_latency,
+            r.p50_queue_depth,
+            r.p99_queue_depth,
+            r.metrics.to_json(),
+            if i + 1 < records.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -17,8 +17,10 @@ use dds_core::spec::aggregate::AggregateKind;
 use dds_core::spec::register::RegOp;
 use dds_core::time::{Time, TimeDelta};
 use dds_net::generate;
-use dds_protocols::harness::{success_rate, SweepRow};
+use dds_obs::Histogram;
+use dds_protocols::harness::{fold_sweep, run_sweep, SweepRow};
 use dds_protocols::{DriverSpec, ProtocolKind, QueryScenario};
+use dds_sim::metrics::Metrics;
 use dds_sim::parallel::parallel_map;
 use dds_registers::base::ObjectState;
 use dds_registers::consensus::run_consensus;
@@ -42,6 +44,17 @@ pub struct Experiment {
     /// Structured rows: label → sweep result (empty for non-sweep
     /// experiments).
     pub rows: BTreeMap<String, SweepRow>,
+    /// Simulated runs performed outside `rows` — experiments whose work
+    /// does not fold into sweep rows (register schedules, consensus
+    /// instances, continuous monitoring, heartbeat sweeps) count here so
+    /// throughput reporting stays honest.
+    pub extra_runs: u64,
+    /// Kernel counters of the runs counted by `extra_runs`, merged.
+    pub extra_metrics: Metrics,
+    /// Delivery latency pooled over every observed run of the experiment.
+    pub latency: Histogram,
+    /// Event-queue depth pooled over every observed run.
+    pub queue_depth: Histogram,
 }
 
 impl Experiment {
@@ -51,7 +64,43 @@ impl Experiment {
             title,
             table: String::new(),
             rows: BTreeMap::new(),
+            extra_runs: 0,
+            extra_metrics: Metrics::default(),
+            latency: Histogram::new(),
+            queue_depth: Histogram::new(),
         }
+    }
+
+    /// Total simulated runs: the sweep rows plus `extra_runs`.
+    pub fn total_runs(&self) -> u64 {
+        self.extra_runs + self.rows.values().map(|r| u64::from(r.runs)).sum::<u64>()
+    }
+
+    /// Kernel counters merged over every run of the experiment.
+    pub fn merged_metrics(&self) -> Metrics {
+        let mut m = self.extra_metrics;
+        for row in self.rows.values() {
+            m.merge(&row.metrics);
+        }
+        m
+    }
+
+    /// Runs `scenario` over `seeds`, pools its observation histograms into
+    /// the experiment, stores the folded row under `label`, and returns it.
+    fn sweep(
+        &mut self,
+        label: impl Into<String>,
+        scenario: &QueryScenario,
+        seeds: impl IntoIterator<Item = u64>,
+    ) -> SweepRow {
+        let runs = run_sweep(scenario, seeds);
+        for run in &runs {
+            self.latency.merge(&run.obs.delivery_latency);
+            self.queue_depth.merge(&run.obs.queue_depth);
+        }
+        let row = fold_sweep(&runs);
+        self.rows.insert(label.into(), row);
+        row
     }
 }
 
@@ -75,7 +124,11 @@ pub fn e1_static() -> Experiment {
         let d = dds_net::algo::diameter(&graph).expect("connected") as u32;
         let scenario = QueryScenario::new(graph.clone(), ProtocolKind::FloodEcho { ttl: d + 1 });
         let run = scenario.run();
-        let row = success_rate(&scenario, 0..SEEDS);
+        e.extra_runs += 1;
+        e.extra_metrics.merge(&run.metrics);
+        e.latency.merge(&run.obs.delivery_latency);
+        e.queue_depth.merge(&run.obs.queue_depth);
+        let row = e.sweep(name, &scenario, 0..SEEDS);
         let _ = writeln!(
             e.table,
             "{:<18} {:>6} {:>9} {:>9.0}% {:>10} {:>9.0}",
@@ -86,7 +139,6 @@ pub fn e1_static() -> Experiment {
             run.finished.map(|t| t.as_ticks()).unwrap_or(0),
             row.mean_messages
         );
-        e.rows.insert(name.to_string(), row);
     }
     e
 }
@@ -120,7 +172,7 @@ pub fn e2_churn() -> Experiment {
                     crash_fraction: 0.3,
                 };
             }
-            let row = success_rate(&s, 0..SEEDS);
+            let row = e.sweep(format!("{label}@{rate}"), &s, 0..SEEDS);
             let _ = write!(
                 line,
                 "{:>14}",
@@ -130,7 +182,6 @@ pub fn e2_churn() -> Experiment {
                     row.termination_rate() * 100.0
                 )
             );
-            e.rows.insert(format!("{label}@{rate}"), row);
         }
         let _ = writeln!(e.table, "{line}");
     }
@@ -157,8 +208,8 @@ pub fn e3_geo() -> Experiment {
             crash_fraction: 0.3,
         };
         s.deadline = Time::from_ticks(2_000);
-        let row = success_rate(&s, 0..SEEDS);
         let label = format!("torus({side}x{side})");
+        let row = e.sweep(label.clone(), &s, 0..SEEDS);
         let _ = writeln!(
             e.table,
             "{:<14} {:>9} {:>6} {:>9.0}% {:>10.0}",
@@ -168,7 +219,6 @@ pub fn e3_geo() -> Experiment {
             row.validity_rate() * 100.0,
             row.mean_messages
         );
-        e.rows.insert(label, row);
     }
     let _ = writeln!(
         e.table,
@@ -211,7 +261,7 @@ pub fn e4_crossover() -> Experiment {
                     crash_fraction: 0.3,
                 };
             }
-            let row = success_rate(&s, 0..SEEDS);
+            let row = e.sweep(format!("{name}@{rate}"), &s, 0..SEEDS);
             let _ = write!(
                 line,
                 "{:>16}",
@@ -221,7 +271,6 @@ pub fn e4_crossover() -> Experiment {
                     row.mean_relative_error
                 )
             );
-            e.rows.insert(format!("{name}@{rate}"), row);
         }
         let _ = writeln!(e.table, "{line}");
     }
@@ -242,12 +291,12 @@ pub fn e5_adversary() -> Experiment {
         // Control: static line of ttl+1 nodes — diameter exactly ttl.
         let control_graph = generate::path(ttl as usize + 1);
         let control = QueryScenario::new(control_graph, ProtocolKind::FloodEcho { ttl });
-        let control_row = success_rate(&control, 0..5);
+        let control_row = e.sweep(format!("control@{ttl}"), &control, 0..5);
         // Adversary: line of 4, spliced every tick.
         let mut adv = QueryScenario::new(generate::path(4), ProtocolKind::FloodEcho { ttl });
         adv.driver = DriverSpec::PathStretch { window: 1 };
         adv.deadline = Time::from_ticks(600);
-        let adv_row = success_rate(&adv, 0..5);
+        let adv_row = e.sweep(format!("adversary@{ttl}"), &adv, 0..5);
         let _ = writeln!(
             e.table,
             "{:<8} {:>21.0}% {:>21.0}%",
@@ -255,8 +304,6 @@ pub fn e5_adversary() -> Experiment {
             control_row.validity_rate() * 100.0,
             adv_row.validity_rate() * 100.0
         );
-        e.rows.insert(format!("control@{ttl}"), control_row);
-        e.rows.insert(format!("adversary@{ttl}"), adv_row);
     }
     let _ = writeln!(
         e.table,
@@ -308,6 +355,8 @@ pub fn e6_registers() -> Experiment {
             maj.steps as f64 / ops as f64,
         )
     });
+    // Two scheduler runs (responsive + majority) per tolerance level.
+    e.extra_runs = 2 * lines.len() as u64;
     for line in lines {
         let _ = writeln!(e.table, "{line}");
     }
@@ -350,6 +399,8 @@ pub fn e7_consensus() -> Experiment {
             blocked_nr.len(),
         )
     });
+    // Two consensus instances (responsive + nonresponsive) per level.
+    e.extra_runs = 2 * lines.len() as u64;
     for line in lines {
         let _ = writeln!(e.table, "{line}");
     }
@@ -373,8 +424,7 @@ pub fn e8_landscape() -> Experiment {
         let scenario = landscape_probe(name);
         let (v, t) = match &scenario {
             Some(s) => {
-                let row = success_rate(s, 0..15);
-                e.rows.insert(name.to_string(), row);
+                let row = e.sweep(name.to_string(), s, 0..15);
                 (
                     format!("{:.0}%", row.validity_rate() * 100.0),
                     format!("{:.0}%", row.termination_rate() * 100.0),
@@ -453,7 +503,7 @@ pub fn a1_multitree() -> Experiment {
         let mut s = QueryScenario::new(graph.clone(), ProtocolKind::MultiTree { ttl: 8, k });
         s.driver = DriverSpec::Balanced { rate: 0.10, window: 10, crash_fraction: 0.3 };
         s.deadline = Time::from_ticks(3_000);
-        let row = success_rate(&s, 0..SEEDS);
+        let row = e.sweep(format!("k={k}"), &s, 0..SEEDS);
         let _ = writeln!(
             e.table,
             "{:<6} {:>9.0}% {:>10.0}",
@@ -461,7 +511,6 @@ pub fn a1_multitree() -> Experiment {
             row.validity_rate() * 100.0,
             row.mean_messages
         );
-        e.rows.insert(format!("k={k}"), row);
     }
     let _ = writeln!(e.table, "(each extra tree buys coverage at linear message cost)");
     e
@@ -484,7 +533,7 @@ pub fn a2_timeouts() -> Experiment {
         s.delay = delay;
         s.driver = DriverSpec::Balanced { rate: 0.05, window: 10, crash_fraction: 0.3 };
         s.deadline = Time::from_ticks(3_000);
-        let row = success_rate(&s, 0..SEEDS);
+        let row = e.sweep(name, &s, 0..SEEDS);
         let _ = writeln!(
             e.table,
             "{:<14} {:>9.0}% {:>9.0}%",
@@ -492,7 +541,6 @@ pub fn a2_timeouts() -> Experiment {
             row.validity_rate() * 100.0,
             row.termination_rate() * 100.0
         );
-        e.rows.insert(name.to_string(), row);
     }
     let _ = writeln!(
         e.table,
@@ -527,7 +575,7 @@ pub fn a3_partition() -> Experiment {
         if let Some(d) = driver {
             s.driver = d;
         }
-        let row = success_rate(&s, 0..SEEDS);
+        let row = e.sweep(name, &s, 0..SEEDS);
         let _ = writeln!(
             e.table,
             "{:<22} {:>9.0}% {:>9.0}%",
@@ -535,7 +583,6 @@ pub fn a3_partition() -> Experiment {
             row.validity_rate() * 100.0,
             row.termination_rate() * 100.0
         );
-        e.rows.insert(name.to_string(), row);
     }
     let _ = writeln!(
         e.table,
@@ -575,6 +622,8 @@ pub fn e9_monitoring() -> Experiment {
             };
         }
         let run = ContinuousScenario::new(base, TimeDelta::ticks(40), 30).run();
+        e.extra_runs += run.per_query.len() as u64;
+        e.extra_metrics.merge(&run.metrics);
         let (first, second) = run.half_rates();
         let _ = writeln!(
             e.table,
@@ -636,6 +685,8 @@ pub fn a4_membership() -> Experiment {
                     let hb: &HeartbeatActor = world.actor(pid).expect("present");
                     total += hb.suspicions_raised();
                 }
+                e.extra_runs += 1;
+                e.extra_metrics.merge(world.metrics());
             }
             // Nothing ever departs: every suspicion is false.
             let _ = write!(line, "{:>12.1}", total as f64 / 10.0);
@@ -719,6 +770,8 @@ pub fn e10_register() -> Experiment {
             if check_regular_single_writer(&history).unwrap_or(false) {
                 regular += 1;
             }
+            e.extra_runs += 1;
+            e.extra_metrics.merge(w.metrics());
         }
         let _ = writeln!(
             e.table,

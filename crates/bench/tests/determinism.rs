@@ -8,6 +8,7 @@
 //! and an 8-worker run.
 
 use dds_bench::{e2_churn, e8_landscape};
+use dds_protocols::obs;
 
 /// One test covers both settings because `DDS_THREADS` is process-global
 /// state: splitting it into per-setting `#[test]`s would race with the
@@ -15,12 +16,35 @@ use dds_bench::{e2_churn, e8_landscape};
 #[test]
 fn tables_are_identical_across_thread_counts() {
     std::env::set_var("DDS_THREADS", "1");
+    obs::begin_capture();
     let e2_seq = e2_churn();
+    let cap_seq = obs::end_capture();
     let e8_seq = e8_landscape();
     std::env::set_var("DDS_THREADS", "8");
+    obs::begin_capture();
     let e2_par = e2_churn();
+    let cap_par = obs::end_capture();
     let e8_par = e8_landscape();
     std::env::remove_var("DDS_THREADS");
+    // JSONL traces and flight dumps are deposited in seed order on the
+    // calling thread, so `--trace-dir` output must be byte-identical too.
+    assert!(
+        !cap_seq.traces.is_empty(),
+        "E2 capture scope collected no traces"
+    );
+    assert_eq!(
+        cap_seq, cap_par,
+        "E2 JSONL traces / flight dumps changed with thread count"
+    );
+    // Pooled observability histograms fold in the same order as rows.
+    assert_eq!(
+        e2_seq.latency, e2_par.latency,
+        "E2 latency histogram changed with thread count"
+    );
+    assert_eq!(
+        e2_seq.queue_depth, e2_par.queue_depth,
+        "E2 queue-depth histogram changed with thread count"
+    );
     assert_eq!(
         e2_seq.table, e2_par.table,
         "E2 table changed with thread count"

@@ -6,6 +6,8 @@
 //!
 //! - [`aggregate`] — the commutative-monoid aggregate functions of the
 //!   one-time query;
+//! - [`hook`] — the thread-local spec-failure notification hook harnesses
+//!   use to trigger flight-recorder dumps;
 //! - [`one_time_query`] — the canonical problem and its validity levels;
 //! - [`history`] — operation histories of shared objects;
 //! - [`register`] — atomicity (linearizability) and regularity checkers;
@@ -13,6 +15,7 @@
 
 pub mod aggregate;
 pub mod consensus;
+pub mod hook;
 pub mod history;
 pub mod one_time_query;
 pub mod register;

@@ -221,7 +221,7 @@ pub fn check_outcome(outcome: &QueryOutcome, presence: &PresenceMap) -> Validity
         .collect();
 
     if outcome.timed_out {
-        return ValidityReport {
+        let report = ValidityReport {
             level: ValidityLevel::NotTerminated,
             missed: required.clone(),
             phantom: BTreeSet::new(),
@@ -229,6 +229,8 @@ pub fn check_outcome(outcome: &QueryOutcome, presence: &PresenceMap) -> Validity
             allowed: allowed.len(),
             snapshot_valid: false,
         };
+        notify_failure(outcome, &report);
+        return report;
     }
 
     let missed: BTreeSet<ProcessId> = required
@@ -272,13 +274,29 @@ pub fn check_outcome(outcome: &QueryOutcome, presence: &PresenceMap) -> Validity
         })
     };
 
-    ValidityReport {
+    let report = ValidityReport {
         level,
         missed,
         phantom,
         required: required.len(),
         allowed: allowed.len(),
         snapshot_valid,
+    };
+    notify_failure(outcome, &report);
+    report
+}
+
+/// Reports anything short of interval validity to the thread-local
+/// spec-failure hook, so an observing harness can dump its flight
+/// recorder. Free when no capture scope is active.
+fn notify_failure(outcome: &QueryOutcome, report: &ValidityReport) {
+    if report.level != ValidityLevel::IntervalValid {
+        crate::spec::hook::notify_with(|| {
+            format!(
+                "one-time query by {} over {}: {}",
+                outcome.initiator, outcome.window, report
+            )
+        });
     }
 }
 

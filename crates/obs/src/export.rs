@@ -1,0 +1,187 @@
+//! JSONL renderers for traces and observations.
+//!
+//! Every field is an integer or a static identifier, so the output is
+//! byte-identical for identical runs — the property the cross-thread-count
+//! determinism tests pin. No serializer dependency: the vendored `serde`
+//! stand-in has no backend (DESIGN.md §12), so records are rendered by
+//! hand.
+
+use std::fmt::Write as _;
+
+use dds_core::run::{Trace, TraceEvent};
+
+use crate::sink::ObsEvent;
+
+/// Renders one kernel [`TraceEvent`] as a JSON line (with trailing
+/// newline) appended to `out`.
+pub fn trace_event_line(ev: &TraceEvent, out: &mut String) {
+    let _ = match *ev {
+        TraceEvent::Join { pid, at } => writeln!(
+            out,
+            "{{\"t\":\"join\",\"pid\":{},\"at\":{}}}",
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+        TraceEvent::Leave { pid, at } => writeln!(
+            out,
+            "{{\"t\":\"leave\",\"pid\":{},\"at\":{}}}",
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+        TraceEvent::Crash { pid, at } => writeln!(
+            out,
+            "{{\"t\":\"crash\",\"pid\":{},\"at\":{}}}",
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+        TraceEvent::Send { from, to, at } => writeln!(
+            out,
+            "{{\"t\":\"send\",\"from\":{},\"to\":{},\"at\":{}}}",
+            from.as_raw(),
+            to.as_raw(),
+            at.as_ticks()
+        ),
+        TraceEvent::Deliver { from, to, at } => writeln!(
+            out,
+            "{{\"t\":\"deliver\",\"from\":{},\"to\":{},\"at\":{}}}",
+            from.as_raw(),
+            to.as_raw(),
+            at.as_ticks()
+        ),
+        TraceEvent::Drop { from, to, at } => writeln!(
+            out,
+            "{{\"t\":\"drop\",\"from\":{},\"to\":{},\"at\":{}}}",
+            from.as_raw(),
+            to.as_raw(),
+            at.as_ticks()
+        ),
+    };
+}
+
+/// Renders a whole [`Trace`] as JSONL, one event per line in time order.
+pub fn trace_jsonl(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 44);
+    for ev in trace.events() {
+        trace_event_line(ev, &mut out);
+    }
+    out
+}
+
+/// Renders one [`ObsEvent`] as a JSON line (with trailing newline)
+/// appended to `out`. Span names are static identifiers chosen by
+/// harnesses and are emitted verbatim.
+pub fn obs_event_line(ev: &ObsEvent, out: &mut String) {
+    let _ = match *ev {
+        ObsEvent::Step { at, queue_depth } => writeln!(
+            out,
+            "{{\"t\":\"step\",\"at\":{},\"depth\":{}}}",
+            at.as_ticks(),
+            queue_depth
+        ),
+        ObsEvent::Join { pid, at } => writeln!(
+            out,
+            "{{\"t\":\"join\",\"pid\":{},\"at\":{}}}",
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+        ObsEvent::Leave { pid, at } => writeln!(
+            out,
+            "{{\"t\":\"leave\",\"pid\":{},\"at\":{}}}",
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+        ObsEvent::Crash { pid, at } => writeln!(
+            out,
+            "{{\"t\":\"crash\",\"pid\":{},\"at\":{}}}",
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+        ObsEvent::Send { from, to, at } => writeln!(
+            out,
+            "{{\"t\":\"send\",\"from\":{},\"to\":{},\"at\":{}}}",
+            from.as_raw(),
+            to.as_raw(),
+            at.as_ticks()
+        ),
+        ObsEvent::Deliver { from, to, at, latency } => writeln!(
+            out,
+            "{{\"t\":\"deliver\",\"from\":{},\"to\":{},\"at\":{},\"latency\":{}}}",
+            from.as_raw(),
+            to.as_raw(),
+            at.as_ticks(),
+            latency.as_ticks()
+        ),
+        ObsEvent::Drop { from, to, at } => writeln!(
+            out,
+            "{{\"t\":\"drop\",\"from\":{},\"to\":{},\"at\":{}}}",
+            from.as_raw(),
+            to.as_raw(),
+            at.as_ticks()
+        ),
+        ObsEvent::TimerFire { pid, at } => writeln!(
+            out,
+            "{{\"t\":\"timer\",\"pid\":{},\"at\":{}}}",
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+        ObsEvent::SpanStart { name, pid, at } => writeln!(
+            out,
+            "{{\"t\":\"span-start\",\"name\":\"{}\",\"pid\":{},\"at\":{}}}",
+            name,
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+        ObsEvent::SpanEnd { name, pid, at } => writeln!(
+            out,
+            "{{\"t\":\"span-end\",\"name\":\"{}\",\"pid\":{},\"at\":{}}}",
+            name,
+            pid.as_raw(),
+            at.as_ticks()
+        ),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::process::ProcessId;
+    use dds_core::time::{Time, TimeDelta};
+
+    #[test]
+    fn trace_jsonl_renders_one_line_per_event() {
+        let mut tr = Trace::new();
+        let p = ProcessId::from_raw(0);
+        tr.push(TraceEvent::Join { pid: p, at: Time::ZERO });
+        tr.push(TraceEvent::Send { from: p, to: p, at: Time::from_ticks(2) });
+        tr.push(TraceEvent::Deliver { from: p, to: p, at: Time::from_ticks(3) });
+        let s = trace_jsonl(&tr);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "{\"t\":\"join\",\"pid\":0,\"at\":0}");
+        assert_eq!(lines[2], "{\"t\":\"deliver\",\"from\":0,\"to\":0,\"at\":3}");
+    }
+
+    #[test]
+    fn obs_lines_carry_latency_and_depth() {
+        let p = ProcessId::from_raw(4);
+        let mut out = String::new();
+        obs_event_line(
+            &ObsEvent::Deliver {
+                from: p,
+                to: p,
+                at: Time::from_ticks(7),
+                latency: TimeDelta::ticks(2),
+            },
+            &mut out,
+        );
+        obs_event_line(&ObsEvent::Step { at: Time::from_ticks(7), queue_depth: 9 }, &mut out);
+        obs_event_line(
+            &ObsEvent::SpanStart { name: "query", pid: p, at: Time::from_ticks(1) },
+            &mut out,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "{\"t\":\"deliver\",\"from\":4,\"to\":4,\"at\":7,\"latency\":2}");
+        assert_eq!(lines[1], "{\"t\":\"step\",\"at\":7,\"depth\":9}");
+        assert_eq!(lines[2], "{\"t\":\"span-start\",\"name\":\"query\",\"pid\":4,\"at\":1}");
+    }
+}

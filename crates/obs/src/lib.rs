@@ -1,0 +1,39 @@
+//! # dds-obs — observability for the simulation kernel
+//!
+//! The kernel (`dds-sim`) reports eight coarse counters; the paper's
+//! solvable/unsolvable frontier, however, is argued over *runs* — who was
+//! present when, how long a query waited, how fast churn outpaced the
+//! protocol. This crate makes those timelines measurable without touching
+//! the kernel's determinism contract or its hot-path performance:
+//!
+//! - [`sink`] — the [`sink::Sink`] trait the kernel's dispatch loop feeds
+//!   ([`sink::ObsEvent`] per kernel event), plus the zero-cost
+//!   [`sink::NoopSink`] and the composite [`sink::ObserverSink`];
+//! - [`histogram`] — a hand-rolled log-bucket (HDR-style) [`histogram::Histogram`]
+//!   with bounded memory and ≤ ~6% relative bucketing error;
+//! - [`report`] — [`report::RunReport`]: delivery latency, per-step event-queue
+//!   depth, membership-over-time and per-process message complexity for one run;
+//! - [`flight`] — [`flight::FlightRecorder`]: a bounded ring buffer of the
+//!   last N kernel events, dumped as JSONL when a spec predicate fails or
+//!   an actor panics;
+//! - [`export`] — JSONL renderers for traces and observation events
+//!   (integer-only fields, so output is byte-identical across thread
+//!   counts).
+//!
+//! Everything is hand-rolled std-only Rust, consistent with the
+//! vendored-offline-deps constraint (DESIGN.md §12): no external crates,
+//! no wall clock, no global state.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod flight;
+pub mod histogram;
+pub mod report;
+pub mod sink;
+
+pub use flight::FlightRecorder;
+pub use histogram::Histogram;
+pub use report::RunReport;
+pub use sink::{NoopSink, ObsEvent, ObserverSink, Sink};

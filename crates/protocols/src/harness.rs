@@ -13,9 +13,11 @@ use std::fmt;
 use dds_core::churn::ChurnSpec;
 use dds_core::process::ProcessId;
 use dds_core::spec::aggregate::AggregateKind;
+use dds_core::spec::hook;
 use dds_core::spec::one_time_query::{check_outcome, QueryOutcome, ValidityReport};
 use dds_core::time::{Interval, Time, TimeDelta};
 use dds_net::graph::Graph;
+use dds_obs::{Histogram, ObsEvent, ObserverSink, RunReport};
 use dds_sim::delay::{DelayModel, LossModel};
 use dds_sim::driver::{BalancedChurn, Growth, NoChurn, PathStretch};
 use dds_sim::partition::PartitionDriver;
@@ -50,6 +52,19 @@ pub enum ProtocolKind {
         /// Rounds before the initiator freezes its estimate.
         rounds: u32,
     },
+}
+
+impl ProtocolKind {
+    /// Static label naming the protocol family — used as the span name of
+    /// the whole query in the run's observation stream.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::FloodEcho { .. } => "flood-echo",
+            ProtocolKind::SingleTree { .. } => "single-tree",
+            ProtocolKind::MultiTree { .. } => "multi-tree",
+            ProtocolKind::Gossip { .. } => "push-sum",
+        }
+    }
 }
 
 impl fmt::Display for ProtocolKind {
@@ -127,6 +142,10 @@ pub struct QueryScenario {
     /// Hard cut-off: a query not finished by then is recorded as
     /// non-terminated.
     pub deadline: Time,
+    /// When set, the run renders its full kernel trace as JSONL into
+    /// [`QueryRun::trace_jsonl`]. Read on the worker thread, so sweeps set
+    /// it per cell (see [`run_sweep`]) instead of relying on thread-locals.
+    pub capture_trace: bool,
 }
 
 impl QueryScenario {
@@ -145,6 +164,7 @@ impl QueryScenario {
             protocol,
             start: Time::from_ticks(1),
             deadline: Time::from_ticks(10_000),
+            capture_trace: false,
         }
     }
 
@@ -235,10 +255,16 @@ impl QueryScenario {
     fn run_wave(&self, config: WaveConfig, ttl: u32) -> QueryRun {
         let mut world: World<WaveMsg> = self
             .scenario_builder()
+            .sink(ObserverSink::default())
             .spawn(move |_| Box::new(WaveActor::new(config)))
             .build();
         let initiator = self.initiator();
         world.inject(self.start, initiator, WaveMsg::Start { ttl });
+        world.observe(ObsEvent::SpanStart {
+            name: self.protocol.label(),
+            pid: initiator,
+            at: self.start,
+        });
         // Chunked execution: stop as soon as the initiator has its answer
         // (churn drivers would otherwise keep the event queue busy until
         // the deadline for nothing).
@@ -256,6 +282,13 @@ impl QueryScenario {
         let result = world
             .actor::<WaveActor>(initiator)
             .and_then(|a| a.result().cloned());
+        world.observe(ObsEvent::SpanEnd {
+            name: self.protocol.label(),
+            pid: initiator,
+            at: result
+                .as_ref()
+                .map_or(self.deadline, |r| r.finished_at.max(self.start)),
+        });
         let (outcome, finished) = match result {
             Some(r) => {
                 let end = r.finished_at.max(self.start) + TimeDelta::TICK;
@@ -275,7 +308,7 @@ impl QueryScenario {
                 )
             }
         };
-        self.judge(world.values(), world.metrics(), world.trace(), outcome, finished)
+        self.judge(&mut world, outcome, finished)
     }
 
     fn run_gossip(&self, rounds: u32) -> QueryRun {
@@ -285,10 +318,16 @@ impl QueryScenario {
         let aggregate = self.aggregate;
         let mut world: World<GossipMsg> = self
             .scenario_builder()
+            .sink(ObserverSink::default())
             .spawn(move |_| Box::new(GossipActor::new(period, aggregate)))
             .build();
         let initiator = self.initiator();
         world.inject(self.start, initiator, GossipMsg::Start { rounds });
+        world.observe(ObsEvent::SpanStart {
+            name: self.protocol.label(),
+            pid: initiator,
+            at: self.start,
+        });
         let mut horizon = self.start;
         loop {
             horizon = (horizon + TimeDelta::ticks(64)).min(self.deadline);
@@ -303,6 +342,13 @@ impl QueryScenario {
         let result = world
             .actor::<GossipActor>(initiator)
             .and_then(|a| a.result().cloned());
+        world.observe(ObsEvent::SpanEnd {
+            name: self.protocol.label(),
+            pid: initiator,
+            at: result
+                .as_ref()
+                .map_or(self.deadline, |r| r.finished_at.max(self.start)),
+        });
         let (outcome, finished) = match result {
             Some(r) => {
                 let end = r.finished_at.max(self.start) + TimeDelta::TICK;
@@ -326,19 +372,37 @@ impl QueryScenario {
                 )
             }
         };
-        self.judge(world.values(), world.metrics(), world.trace(), outcome, finished)
+        self.judge(&mut world, outcome, finished)
     }
 
-    fn judge(
+    fn judge<M: Clone + 'static>(
         &self,
-        values: &std::collections::BTreeMap<ProcessId, f64>,
-        metrics: &Metrics,
-        trace: &dds_core::run::Trace,
+        world: &mut World<M>,
         outcome: QueryOutcome,
         finished: Option<Time>,
     ) -> QueryRun {
-        let presence = trace.presence();
-        let report = check_outcome(&outcome, &presence);
+        // Recover the observer the run accumulated into; a sink is always
+        // installed by run_wave/run_gossip, so the fallback default only
+        // covers a caller that replaced it.
+        let observer: ObserverSink = world
+            .take_sink()
+            .and_then(|s| s.into_any().downcast::<ObserverSink>().ok())
+            .map_or_else(Default::default, |b| *b);
+        let trace_jsonl = self
+            .capture_trace
+            .then(|| dds_obs::export::trace_jsonl(world.trace()));
+        let values = world.values();
+        let metrics = world.metrics();
+        let presence = world.trace().presence();
+        // Judge under a spec-failure capture scope: any violation the
+        // checker reports triggers a flight-recorder dump of the events
+        // leading up to it.
+        let (report, failures) = hook::capture_failures(|| check_outcome(&outcome, &presence));
+        let flight_dump = (!failures.is_empty()).then(|| {
+            observer
+                .flight
+                .dump_jsonl(&failures.join("; "), finished.unwrap_or(self.deadline))
+        });
         let required = presence.present_throughout(&outcome.window);
         let required_values: Vec<f64> =
             required.iter().filter_map(|p| values.get(p).copied()).collect();
@@ -368,6 +432,9 @@ impl QueryScenario {
             truth_at_start,
             relative_error,
             finished,
+            obs: observer.report,
+            flight_dump,
+            trace_jsonl,
         }
     }
 }
@@ -392,6 +459,16 @@ pub struct QueryRun {
     pub relative_error: f64,
     /// Completion instant, when the query terminated.
     pub finished: Option<Time>,
+    /// Aggregated kernel observations: delivery-latency and queue-depth
+    /// histograms, membership timeline, per-process message complexity and
+    /// protocol spans.
+    pub obs: RunReport,
+    /// Flight-recorder JSONL dump of the most recent kernel events,
+    /// present when the run violated its specification.
+    pub flight_dump: Option<String>,
+    /// JSONL rendering of the full kernel trace, when
+    /// [`QueryScenario::capture_trace`] was set.
+    pub trace_jsonl: Option<String>,
 }
 
 impl fmt::Display for QueryRun {
@@ -410,15 +487,27 @@ impl fmt::Display for QueryRun {
 /// world and RNG, so the result vector is bit-identical at any thread
 /// count.
 pub fn run_sweep(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u64>) -> Vec<QueryRun> {
+    // The capture flag lives in a thread-local of the *calling* thread;
+    // pool workers cannot see it, so it is read here and threaded through
+    // each cell. The deposit below runs back on the calling thread, over
+    // the seed-ordered results, so captured traces are byte-identical at
+    // any `DDS_THREADS` setting.
+    let capture = crate::obs::is_capturing();
     let cells: Vec<QueryScenario> = seeds
         .into_iter()
         .map(|seed| {
             let mut s = scenario.clone();
             s.seed = seed;
+            s.capture_trace = capture || s.capture_trace;
             s
         })
         .collect();
-    dds_sim::parallel::parallel_map(cells, |s| s.run())
+    let runs = dds_sim::parallel::parallel_map(cells, |s| s.run());
+    if capture {
+        crate::obs::deposit_traces(runs.iter().filter_map(|r| r.trace_jsonl.clone()));
+        crate::obs::deposit_flight_dumps(runs.iter().filter_map(|r| r.flight_dump.clone()));
+    }
+    runs
 }
 
 /// Aggregates judged runs into the experiment row format, folding in input
@@ -430,6 +519,9 @@ pub fn fold_sweep(runs: &[QueryRun]) -> SweepRow {
     let mut err_sum = 0.0;
     let mut err_count = 0u32;
     let mut msg_sum = 0u64;
+    let mut latency = Histogram::new();
+    let mut depth = Histogram::new();
+    let mut metrics = Metrics::default();
     for run in runs {
         total += 1;
         if run.report.level.is_interval_valid() {
@@ -443,6 +535,9 @@ pub fn fold_sweep(runs: &[QueryRun]) -> SweepRow {
             }
         }
         msg_sum += run.metrics.sends;
+        latency.merge(&run.obs.delivery_latency);
+        depth.merge(&run.obs.queue_depth);
+        metrics.merge(&run.metrics);
     }
     SweepRow {
         runs: total,
@@ -458,6 +553,11 @@ pub fn fold_sweep(runs: &[QueryRun]) -> SweepRow {
         } else {
             0.0
         },
+        p50_delivery_latency: latency.percentile(50.0),
+        p99_delivery_latency: latency.percentile(99.0),
+        p50_queue_depth: depth.percentile(50.0),
+        p99_queue_depth: depth.percentile(99.0),
+        metrics,
     }
 }
 
@@ -482,6 +582,16 @@ pub struct SweepRow {
     pub mean_relative_error: f64,
     /// Mean messages per run.
     pub mean_messages: f64,
+    /// Median in-flight delivery latency across all runs, in ticks.
+    pub p50_delivery_latency: u64,
+    /// 99th-percentile delivery latency across all runs, in ticks.
+    pub p99_delivery_latency: u64,
+    /// Median event-queue depth sampled at every dispatch.
+    pub p50_queue_depth: u64,
+    /// 99th-percentile event-queue depth.
+    pub p99_queue_depth: u64,
+    /// Kernel counters summed over the sweep (peak membership is a max).
+    pub metrics: Metrics,
 }
 
 impl SweepRow {
@@ -544,6 +654,45 @@ mod tests {
         assert_eq!(run.report.level, ValidityLevel::WeaklyValid);
         assert_eq!(run.outcome.value, 4.0);
         assert!(run.report.coverage() < 1.0);
+    }
+
+    #[test]
+    fn spec_failure_dumps_the_flight_recorder() {
+        // Same failing scenario as `short_ttl_is_weakly_valid`: the wave
+        // misses half the path, the validity hook fires, and the judge
+        // renders the recorder ring.
+        let scenario =
+            QueryScenario::new(generate::path(8), ProtocolKind::FloodEcho { ttl: 3 });
+        let run = scenario.run();
+        let dump = run.flight_dump.as_deref().expect("spec failure produces a dump");
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(
+            lines[0].contains("\"t\":\"flight-dump\"")
+                && lines[0].contains("one-time query by"),
+            "header names the violated spec: {}",
+            lines[0]
+        );
+        assert!(lines.len() > 8, "dump carries the recent kernel events");
+        assert!(
+            lines.iter().any(|l| l.contains("\"t\":\"deliver\"")),
+            "events leading up to the failure are present"
+        );
+        // A passing run keeps the dump (and the trace, unless requested) off.
+        let ok = QueryScenario::new(generate::path(8), ProtocolKind::FloodEcho { ttl: 8 }).run();
+        assert_eq!(ok.report.level, ValidityLevel::IntervalValid);
+        assert!(ok.flight_dump.is_none());
+        assert!(ok.trace_jsonl.is_none());
+    }
+
+    #[test]
+    fn capture_trace_attaches_the_jsonl_trace() {
+        let mut scenario =
+            QueryScenario::new(generate::ring(5), ProtocolKind::FloodEcho { ttl: 4 });
+        scenario.capture_trace = true;
+        let run = scenario.run();
+        let trace = run.trace_jsonl.as_deref().expect("capture_trace renders the trace");
+        assert!(trace.lines().count() >= 5, "at least the initial joins");
+        assert!(trace.starts_with("{\"t\":\"join\""));
     }
 
     #[test]
@@ -633,6 +782,11 @@ mod tests {
             terminated: 9,
             mean_relative_error: 0.1,
             mean_messages: 100.0,
+            p50_delivery_latency: 1,
+            p99_delivery_latency: 2,
+            p50_queue_depth: 3,
+            p99_queue_depth: 8,
+            metrics: Metrics::default(),
         };
         assert!((row.validity_rate() - 0.7).abs() < 1e-12);
         assert!((row.termination_rate() - 0.9).abs() < 1e-12);

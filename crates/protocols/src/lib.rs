@@ -43,6 +43,7 @@ pub mod continuous;
 pub mod gossip;
 pub mod harness;
 pub mod membership;
+pub mod obs;
 pub mod register;
 pub mod wave;
 

@@ -30,6 +30,9 @@ pub enum Event<M> {
         from: ProcessId,
         /// Destination.
         to: ProcessId,
+        /// When the message was handed to the network — lets the kernel
+        /// report in-flight latency to observability sinks at delivery.
+        sent: Time,
         /// Payload.
         msg: M,
     },
@@ -155,6 +158,7 @@ mod tests {
                 Event::Deliver {
                     from: ProcessId::from_raw(0),
                     to: ProcessId::from_raw(0),
+                    sent: t(3),
                     msg: i,
                 },
             );

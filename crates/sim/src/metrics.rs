@@ -2,8 +2,10 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Counters accumulated over one simulated run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Messages handed to the network.
     pub sends: u64,
@@ -32,6 +34,36 @@ impl Metrics {
         } else {
             self.delivers as f64 / self.sends as f64
         }
+    }
+
+    /// Accumulates another run's counters into this one (peak membership
+    /// takes the max), used to aggregate metrics across a sweep.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.sends += other.sends;
+        self.delivers += other.delivers;
+        self.drops += other.drops;
+        self.timer_fires += other.timer_fires;
+        self.joins += other.joins;
+        self.leaves += other.leaves;
+        self.crashes += other.crashes;
+        self.max_membership = self.max_membership.max(other.max_membership);
+    }
+
+    /// Renders the counters as a JSON object. Hand-rolled because the
+    /// vendored `serde` has no serialization backend; all fields are
+    /// integers, so the output is byte-stable.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"sends\":{},\"delivers\":{},\"drops\":{},\"timer_fires\":{},\"joins\":{},\"leaves\":{},\"crashes\":{},\"max_membership\":{}}}",
+            self.sends,
+            self.delivers,
+            self.drops,
+            self.timer_fires,
+            self.joins,
+            self.leaves,
+            self.crashes,
+            self.max_membership
+        )
     }
 }
 
@@ -66,6 +98,43 @@ mod tests {
             ..Metrics::default()
         };
         assert!((m.delivery_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates_and_maxes() {
+        let mut a = Metrics {
+            sends: 5,
+            delivers: 4,
+            max_membership: 8,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            sends: 3,
+            delivers: 3,
+            crashes: 1,
+            max_membership: 6,
+            ..Metrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sends, 8);
+        assert_eq!(a.delivers, 7);
+        assert_eq!(a.crashes, 1);
+        assert_eq!(a.max_membership, 8);
+    }
+
+    #[test]
+    fn json_lists_every_counter() {
+        let m = Metrics {
+            sends: 5,
+            joins: 2,
+            max_membership: 4,
+            ..Metrics::default()
+        };
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"sends\":5"), "{j}");
+        assert!(j.contains("\"joins\":2"), "{j}");
+        assert!(j.contains("\"max_membership\":4"), "{j}");
     }
 
     #[test]

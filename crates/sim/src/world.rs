@@ -21,6 +21,7 @@ use dds_core::run::{Trace, TraceEvent};
 use dds_core::time::Time;
 use dds_net::dynamic::{AttachRule, RepairRule};
 use dds_net::graph::Graph;
+use dds_obs::{ObsEvent, Sink};
 
 use crate::actor::{Actor, Context, Effect};
 use crate::delay::{DelayModel, LossModel};
@@ -81,6 +82,7 @@ pub struct WorldBuilder<M> {
     driver: Box<dyn ChurnDriver>,
     spawn: Option<SpawnFn<M>>,
     value: ValueFn,
+    sink: Option<Box<dyn Sink>>,
 }
 
 impl<M> fmt::Debug for WorldBuilder<M> {
@@ -107,6 +109,7 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             driver: Box::new(NoChurn),
             spawn: None,
             value: Box::new(|_, rng| rng.unit_f64() * 100.0),
+            sink: None,
         }
     }
 
@@ -154,6 +157,15 @@ impl<M: Clone + 'static> WorldBuilder<M> {
         self
     }
 
+    /// Installs an observability sink ([`dds_obs::Sink`]): the kernel
+    /// feeds it one [`dds_obs::ObsEvent`] per observable action, starting
+    /// with the initial joins. With no sink installed (the default) the
+    /// dispatch loop pays one branch per event and allocates nothing.
+    pub fn sink(mut self, sink: impl Sink) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
     /// Builds the world and runs the initial `on_start` callbacks at
     /// `t = 0`.
     ///
@@ -189,6 +201,7 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             next_timer: 0,
             callbacks: VecDeque::new(),
             effect_buf: Vec::new(),
+            sink: self.sink,
         };
         let intent = world.driver.intent();
         world
@@ -203,6 +216,7 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             world.actors.insert(pid, actor);
             world.trace.push(TraceEvent::Join { pid, at: Time::ZERO });
             world.metrics.joins += 1;
+            world.emit(ObsEvent::Join { pid, at: Time::ZERO });
         }
         world.graph = initial;
         world.members = world.graph.nodes().collect();
@@ -271,6 +285,9 @@ pub struct World<M> {
     /// Reusable effect buffer handed to each callback's `Context`, so a
     /// steady-state dispatch allocates nothing.
     effect_buf: Vec<Effect<M>>,
+    /// Optional observability sink; `None` (the default) keeps the
+    /// dispatch loop on its allocation-free fast path.
+    sink: Option<Box<dyn Sink>>,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -309,6 +326,32 @@ impl<M: Clone + 'static> World<M> {
     /// The run metrics so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Forwards `ev` to the installed sink, if any — the hook harnesses
+    /// use to add their own observations (protocol round/phase spans) to
+    /// the kernel's stream.
+    pub fn observe(&mut self, ev: ObsEvent) {
+        self.emit(ev);
+    }
+
+    /// Installs (or replaces) the observability sink mid-run.
+    pub fn set_sink(&mut self, sink: impl Sink) {
+        self.sink = Some(Box::new(sink));
+    }
+
+    /// Removes and returns the installed sink, restoring the
+    /// allocation-free fast path. Harnesses call this after a run to
+    /// recover the accumulated [`dds_obs::RunReport`] / flight recorder.
+    pub fn take_sink(&mut self) -> Option<Box<dyn Sink>> {
+        self.sink.take()
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: ObsEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(&ev);
+        }
     }
 
     /// The local value of a process (present or departed).
@@ -351,6 +394,7 @@ impl<M: Clone + 'static> World<M> {
             Event::Deliver {
                 from: pid,
                 to: pid,
+                sent: at,
                 msg,
             },
         );
@@ -363,20 +407,33 @@ impl<M: Clone + 'static> World<M> {
         };
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
+        if self.sink.is_some() {
+            self.emit(ObsEvent::Step { at, queue_depth: self.queue.len() });
+        }
         match event {
-            Event::Deliver { from, to, msg } => {
+            Event::Deliver { from, to, sent, msg } => {
                 if self.actors.contains_key(&to) {
                     self.trace.push(TraceEvent::Deliver { from, to, at });
                     self.metrics.delivers += 1;
+                    if self.sink.is_some() {
+                        self.emit(ObsEvent::Deliver {
+                            from,
+                            to,
+                            at,
+                            latency: at.saturating_since(sent),
+                        });
+                    }
                     self.callbacks.push_back(Callback::Message { to, from, msg });
                 } else {
                     self.trace.push(TraceEvent::Drop { from, to, at });
                     self.metrics.drops += 1;
+                    self.emit(ObsEvent::Drop { from, to, at });
                 }
             }
             Event::Timer { pid, timer } => {
                 if self.actors.contains_key(&pid) {
                     self.metrics.timer_fires += 1;
+                    self.emit(ObsEvent::TimerFire { pid, at });
                     self.callbacks.push_back(Callback::Timer { pid, timer });
                 }
             }
@@ -489,6 +546,7 @@ impl<M: Clone + 'static> World<M> {
         self.actors.insert(pid, actor);
         self.trace.push(TraceEvent::Join { pid, at: self.now });
         self.metrics.joins += 1;
+        self.emit(ObsEvent::Join { pid, at: self.now });
         self.metrics.max_membership = self.metrics.max_membership.max(self.graph.node_count());
         self.callbacks.push_back(Callback::Start(pid));
         for peer in wired_to {
@@ -525,9 +583,11 @@ impl<M: Clone + 'static> World<M> {
         if crashed {
             self.trace.push(TraceEvent::Crash { pid, at: self.now });
             self.metrics.crashes += 1;
+            self.emit(ObsEvent::Crash { pid, at: self.now });
         } else {
             self.trace.push(TraceEvent::Leave { pid, at: self.now });
             self.metrics.leaves += 1;
+            self.emit(ObsEvent::Leave { pid, at: self.now });
         }
         // Announce bridge edges created by the repair rule BEFORE the
         // departure notifications: a protocol waiting on the departed
@@ -576,7 +636,11 @@ impl<M: Clone + 'static> World<M> {
         // mutation is deferred through the effect buffer and callback
         // queue), so the slice stays valid.
         let mut effects = std::mem::take(&mut self.effect_buf);
-        {
+        // Catch unwinds so the flight recorder can dump the events leading
+        // up to an actor panic before it propagates (the world — and with
+        // it the sink — is dropped during the unwind, so the recorder must
+        // flush here or the tail is lost).
+        let caught = {
             let neighbors = self.graph.neighbors(pid).unwrap_or(&[]);
             let mut ctx = Context::new(
                 pid,
@@ -587,7 +651,7 @@ impl<M: Clone + 'static> World<M> {
                 &mut self.next_timer,
                 &mut effects,
             );
-            match cb {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match cb {
                 Callback::Start(_) => actor.on_start(&mut ctx),
                 Callback::Message { from, msg, .. } => actor.on_message(&mut ctx, from, msg),
                 Callback::Timer { timer, .. } => actor.on_timer(&mut ctx, timer),
@@ -596,7 +660,13 @@ impl<M: Clone + 'static> World<M> {
                 Callback::NeighborBridge { peer, replaced, .. } => {
                     actor.on_neighbor_bridge(&mut ctx, peer, replaced)
                 }
+            }))
+        };
+        if let Err(payload) = caught {
+            if let Some(sink) = self.sink.as_mut() {
+                sink.fail(&format!("actor p{} panicked", pid.as_raw()), self.now);
             }
+            std::panic::resume_unwind(payload);
         }
         self.actors.insert(pid, actor);
         self.apply_effects(pid, &mut effects);
@@ -615,15 +685,24 @@ impl<M: Clone + 'static> World<M> {
                             at: self.now,
                         });
                         self.metrics.drops += 1;
+                        self.emit(ObsEvent::Drop { from: pid, to, at: self.now });
                     } else {
                         self.trace.push(TraceEvent::Send {
                             from: pid,
                             to,
                             at: self.now,
                         });
+                        self.emit(ObsEvent::Send { from: pid, to, at: self.now });
                         let delay = self.delay.sample(&mut self.rng);
-                        self.queue
-                            .schedule(self.now + delay, Event::Deliver { from: pid, to, msg });
+                        self.queue.schedule(
+                            self.now + delay,
+                            Event::Deliver {
+                                from: pid,
+                                to,
+                                sent: self.now,
+                                msg,
+                            },
+                        );
                     }
                 }
                 Effect::SetTimer { id, delay } => {

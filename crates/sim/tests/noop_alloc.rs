@@ -1,0 +1,91 @@
+//! The observability hooks must be free when unused.
+//!
+//! `World::emit` is one `Option` branch per kernel event; with no sink
+//! installed the dispatch loop must stay on the same allocation-free fast
+//! path it had before instrumentation. This test pins that with a counting
+//! global allocator: after a warm-up phase (buffers reach steady capacity),
+//! a window of thousands of timer dispatches must perform **zero**
+//! allocations.
+//!
+//! The file holds exactly one `#[test]` on purpose: the allocator count is
+//! process-global, and a sibling test running concurrently would pollute
+//! the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dds_core::process::ProcessId;
+use dds_core::time::{Time, TimeDelta};
+use dds_net::generate;
+use dds_sim::actor::{Actor, Context};
+use dds_sim::event::TimerId;
+use dds_sim::world::WorldBuilder;
+
+/// Passes everything through to the system allocator, counting every
+/// allocation and reallocation (deallocations are free to ignore: a
+/// steady-state loop that frees must also have allocated).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Re-arms a one-tick timer forever: each dispatch pops one event and
+/// schedules one, so every kernel buffer (event heap, callback queue,
+/// effect buffer) holds a steady size. Timer events also record no trace
+/// entry, so the trace vector cannot amortize-grow inside the window.
+struct Metronome;
+
+impl Actor<()> for Metronome {
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        ctx.set_timer(TimeDelta::ticks(1));
+    }
+
+    fn on_message(&mut self, _: &mut Context<'_, ()>, _: ProcessId, _: ()) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _: TimerId) {
+        ctx.set_timer(TimeDelta::ticks(1));
+    }
+}
+
+#[test]
+fn dispatch_without_sink_allocates_nothing() {
+    let mut world = WorldBuilder::new(11)
+        .initial_graph(generate::ring(8))
+        .spawn(|_| Box::new(Metronome))
+        .build();
+    // Warm up: let every buffer reach its steady capacity.
+    world.run_until(Time::from_ticks(100));
+    let fires_before = world.metrics().timer_fires;
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    world.run_until(Time::from_ticks(1100));
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    let fired = world.metrics().timer_fires - fires_before;
+    assert_eq!(fired, 8 * 1000, "window actually dispatched timer events");
+    assert_eq!(
+        after - before,
+        0,
+        "sink-less dispatch loop allocated {} times over {} dispatches",
+        after - before,
+        fired
+    );
+}
