@@ -1,0 +1,58 @@
+//! `world_reuse` — cost of building a fresh `World` per seed vs recycling
+//! one world's allocations through `World::reset`.
+//!
+//! This isolates the cross-seed reuse win that `run_sweep` gets from
+//! threading a [`SweepArena`] through every cell a worker claims: the
+//! event-queue ring, slot tables, graph and trace buffers all survive the
+//! reset, so only the first seed of a cell pays the allocation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_core::time::Time;
+use dds_net::generate;
+use dds_protocols::harness::SweepArena;
+use dds_protocols::{DriverSpec, ProtocolKind, QueryScenario};
+use std::hint::black_box;
+
+const SEEDS: u64 = 16;
+
+fn scenario() -> QueryScenario {
+    let mut s = QueryScenario::new(generate::torus(5, 5), ProtocolKind::FloodEcho { ttl: 8 });
+    s.deadline = Time::from_ticks(500);
+    s.driver = DriverSpec::Balanced {
+        rate: 0.2,
+        window: 10,
+        crash_fraction: 0.3,
+    };
+    s
+}
+
+fn bench_world_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_reuse");
+    group.bench_function(BenchmarkId::from_parameter("fresh_per_seed"), |b| {
+        let base = scenario();
+        b.iter(|| {
+            for seed in 0..SEEDS {
+                let mut s = base.clone();
+                s.seed = seed;
+                // `run` builds a throwaway arena, so every seed
+                // constructs its world from scratch.
+                black_box(s.run());
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("reused_arena"), |b| {
+        let base = scenario();
+        b.iter(|| {
+            let mut arena = SweepArena::default();
+            for seed in 0..SEEDS {
+                let mut s = base.clone();
+                s.seed = seed;
+                black_box(s.run_in(&mut arena));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_reuse);
+criterion_main!(benches);

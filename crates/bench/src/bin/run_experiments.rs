@@ -1,15 +1,21 @@
 //! Prints the experiment tables recorded in EXPERIMENTS.md.
 //!
-//! Usage: `run_experiments [--json] [--trace-dir <dir>] [e1 e2 … a2 | all]`
-//! (default: all).
+//! Usage: `run_experiments [--json] [--trace-dir <dir>]
+//! [--baseline <file>] [e1 e2 … a2 | all]` (default: all).
 //!
 //! With `--json`, per-experiment records are additionally written to
 //! `BENCH_sweeps.json` in the current directory: elapsed milliseconds,
 //! total simulated runs and runs-per-second throughput, merged kernel
 //! counters, and the pooled p50/p99 delivery-latency and event-queue-depth
-//! percentiles, plus the thread count the sweep pool used (`DDS_THREADS`).
-//! Everything except the wall-clock fields is byte-identical across thread
-//! counts.
+//! percentiles, plus the thread count the sweep pool used (`DDS_THREADS`)
+//! and the event-queue implementation (`DDS_QUEUE`). Everything except the
+//! wall-clock fields is byte-identical across thread counts and queue
+//! implementations.
+//!
+//! With `--baseline <file>`, each experiment's `runs_per_sec` is compared
+//! against the record of the same id in a previously written
+//! `BENCH_sweeps.json`; a drop of more than [`REGRESSION_TOLERANCE`]
+//! fails the process with exit code 3 (the CI perf gate).
 //!
 //! With `--trace-dir <dir>`, every sweep run's kernel trace is rendered as
 //! JSONL into `<dir>/<id>.jsonl` (one `{"t":"run",…}` header per run, in
@@ -28,6 +34,15 @@ use dds_sim::metrics::Metrics;
 /// reported on stderr rather than silently discarded.
 const MAX_FLIGHT_DUMPS: usize = 8;
 
+/// Maximum tolerated fractional drop in `runs_per_sec` against a
+/// `--baseline` file before the gate fails (0.30 = 30% slower).
+const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// Experiments whose baseline finished faster than this are not gated:
+/// at sub-millisecond wall times the throughput figure is timer noise
+/// (the micro experiments swing ±40% between identical runs).
+const MIN_GATED_WALL_MS: f64 = 5.0;
+
 /// Per-experiment record for `BENCH_sweeps.json`.
 struct Record {
     id: &'static str,
@@ -40,9 +55,20 @@ struct Record {
     p99_queue_depth: u64,
 }
 
+impl Record {
+    fn runs_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.runs as f64 / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
 fn main() {
     let mut json = false;
     let mut trace_dir: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let mut i = 0;
@@ -55,6 +81,16 @@ fn main() {
                     Some(dir) => trace_dir = Some(PathBuf::from(dir)),
                     None => {
                         eprintln!("--trace-dir needs a directory argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--baseline" => {
+                i += 1;
+                match raw.get(i) {
+                    Some(file) => baseline = Some(PathBuf::from(file)),
+                    None => {
+                        eprintln!("--baseline needs a file argument");
                         std::process::exit(2);
                     }
                 }
@@ -112,6 +148,96 @@ fn main() {
             }
         }
     }
+    if let Some(file) = baseline {
+        check_baseline(&file, &records);
+    }
+}
+
+/// Compares each record's throughput against the baseline file (a
+/// previously written `BENCH_sweeps.json`); exits 3 on any regression
+/// beyond [`REGRESSION_TOLERANCE`]. Experiments absent from the baseline
+/// (or with zero/unmeasured throughput there) are skipped with a note.
+fn check_baseline(file: &std::path::Path, records: &[Record]) {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("cannot read baseline {}: {err}", file.display());
+            std::process::exit(2);
+        }
+    };
+    let base = parse_baseline(&text);
+    let mut failed = false;
+    for r in records {
+        let now = r.runs_per_sec();
+        let Some(&(_, was, wall_ms)) = base.iter().find(|(id, ..)| id == r.id) else {
+            eprintln!("baseline: {} not present, skipping", r.id);
+            continue;
+        };
+        if was <= 0.0 {
+            eprintln!("baseline: {} has no throughput recorded, skipping", r.id);
+            continue;
+        }
+        if wall_ms < MIN_GATED_WALL_MS {
+            eprintln!(
+                "baseline: {} too fast to gate ({wall_ms:.3} ms), skipping",
+                r.id
+            );
+            continue;
+        }
+        let ratio = now / was;
+        let verdict = if ratio < 1.0 - REGRESSION_TOLERANCE {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "baseline: {} {:.1} -> {:.1} runs/sec ({:+.1}%) {}",
+            r.id,
+            was,
+            now,
+            (ratio - 1.0) * 100.0,
+            verdict
+        );
+    }
+    if failed {
+        eprintln!(
+            "throughput regressed by more than {:.0}% on at least one experiment",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        std::process::exit(3);
+    }
+}
+
+/// Extracts `(id, runs_per_sec, wall_ms)` triples from a
+/// `BENCH_sweeps.json` document. Hand-rolled like the writer: each
+/// experiment line carries its key pairs in a known order.
+fn parse_baseline(text: &str) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = extract_str(line, "\"id\": \"") else {
+            continue;
+        };
+        let Some(rps) = extract_num(line, "\"runs_per_sec\": ") else {
+            continue;
+        };
+        let wall_ms = extract_num(line, "\"wall_ms\": ").unwrap_or(0.0);
+        out.push((id, rps, wall_ms));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Writes one experiment's captured traces and flight dumps under `dir`.
@@ -146,15 +272,12 @@ fn write_captured(dir: &std::path::Path, id: &str, captured: capture::Captured) 
 fn render_json(records: &[Record]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"threads\": {},\n  \"experiments\": [\n",
-        dds_sim::parallel::thread_count()
+        "  \"threads\": {},\n  \"queue\": \"{}\",\n  \"experiments\": [\n",
+        dds_sim::parallel::thread_count(),
+        dds_sim::event::configured_queue_kind().label()
     ));
     for (i, r) in records.iter().enumerate() {
-        let runs_per_sec = if r.wall_ms > 0.0 {
-            r.runs as f64 / (r.wall_ms / 1e3)
-        } else {
-            0.0
-        };
+        let runs_per_sec = r.runs_per_sec();
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.1}, \
 \"p50_delivery_latency\": {}, \"p99_delivery_latency\": {}, \

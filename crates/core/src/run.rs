@@ -112,6 +112,14 @@ impl Trace {
         }
     }
 
+    /// Empties the trace and restores the default (finite) intent, keeping
+    /// the event storage for reuse across runs.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.arrivals_intended_finite = true;
+        self.concurrency_intended_finite = true;
+    }
+
     /// Declares the intent of the generating driver, used by
     /// [`Trace::arrival_stats`] to fill the `*_finite` flags.
     pub fn set_intent(&mut self, arrivals_finite: bool, concurrency_finite: bool) {

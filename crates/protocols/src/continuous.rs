@@ -91,7 +91,6 @@ impl ContinuousScenario {
             .expect("the initiator is churn-protected");
         let results = actor.results().to_vec();
         let presence = world.trace().presence();
-        let values = world.values().clone();
 
         let mut per_query = Vec::with_capacity(self.queries as usize);
         for (i, &issued) in issue_times.iter().enumerate() {
@@ -121,7 +120,6 @@ impl ContinuousScenario {
                 report,
             });
         }
-        let _ = values; // retained for future per-generation accuracy
         ContinuousRun {
             per_query,
             metrics: *world.metrics(),

@@ -20,12 +20,14 @@
 //! membership).
 
 use std::collections::BTreeSet;
+use std::rc::Rc;
 
 use dds_core::process::ProcessId;
 use dds_core::spec::aggregate::AggregateKind;
 use dds_core::time::{Time, TimeDelta};
 use dds_sim::actor::{Actor, Context};
 use dds_sim::event::TimerId;
+use dds_sim::slots::DenseSet;
 
 /// Messages of the push-sum protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +50,11 @@ pub enum GossipMsg {
         /// Running maximum of values mixed in.
         max: f64,
         /// Identities whose initial value is (partially) mixed into `sum`.
-        origins: BTreeSet<ProcessId>,
+        /// A dense bit set (ids are dense, see [`DenseSet`]) shared via
+        /// `Rc`, not cloned: a world is single-threaded and a round ships
+        /// the same immutable set in every share, so the fan-out costs a
+        /// refcount bump instead of a set copy per send.
+        origins: Rc<DenseSet>,
     },
 }
 
@@ -74,7 +80,9 @@ pub struct GossipActor {
     weight: f64,
     min: f64,
     max: f64,
-    origins: BTreeSet<ProcessId>,
+    /// Copy-on-write: shared with in-flight shares until new mass arrives,
+    /// then `Rc::make_mut` forks a private copy to extend.
+    origins: Rc<DenseSet>,
     rounds_left: Option<u32>,
     result: Option<GossipResult>,
     tick: Option<TimerId>,
@@ -92,7 +100,7 @@ impl GossipActor {
             weight: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
-            origins: BTreeSet::new(),
+            origins: Rc::new(DenseSet::new()),
             rounds_left: None,
             result: None,
             tick: None,
@@ -125,8 +133,7 @@ impl GossipActor {
         if self.result.is_some() {
             return; // frozen
         }
-        let neighbors = ctx.neighbors().to_vec();
-        if let Some(&target) = ctx.rng().choose(&neighbors) {
+        if let Some(target) = ctx.choose_neighbor() {
             self.sum /= 2.0;
             self.weight /= 2.0;
             ctx.send(
@@ -136,7 +143,7 @@ impl GossipActor {
                     weight: self.weight,
                     min: self.min,
                     max: self.max,
-                    origins: self.origins.clone(),
+                    origins: Rc::clone(&self.origins),
                 },
             );
         }
@@ -148,7 +155,7 @@ impl GossipActor {
                     finished_at: ctx.now(),
                     estimate,
                     average,
-                    contributors: self.origins.clone(),
+                    contributors: self.origins.iter().collect(),
                 });
                 return;
             }
@@ -163,7 +170,7 @@ impl Actor<GossipMsg> for GossipActor {
         self.weight = 1.0;
         self.min = ctx.value();
         self.max = ctx.value();
-        self.origins.insert(ctx.pid());
+        Rc::make_mut(&mut self.origins).insert(ctx.pid());
         self.tick = Some(ctx.set_timer(self.period));
     }
 
@@ -177,8 +184,7 @@ impl Actor<GossipMsg> for GossipActor {
                 if self.result.is_some() {
                     // Frozen: bounce the mass back into circulation so it
                     // is not silently destroyed.
-                    let neighbors = ctx.neighbors().to_vec();
-                    if let Some(&t) = ctx.rng().choose(&neighbors) {
+                    if let Some(t) = ctx.choose_neighbor() {
                         ctx.send(t, GossipMsg::Share { sum, weight, min, max, origins });
                     }
                     return;
@@ -187,7 +193,11 @@ impl Actor<GossipMsg> for GossipActor {
                 self.weight += weight;
                 self.min = self.min.min(min);
                 self.max = self.max.max(max);
-                self.origins.extend(origins);
+                // Fork-and-extend only when the share carries identities we
+                // have not mixed yet; otherwise leave the shared set alone.
+                if !origins.is_subset(&self.origins) {
+                    Rc::make_mut(&mut self.origins).union_with(&origins);
+                }
             }
         }
     }

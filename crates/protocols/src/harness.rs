@@ -184,39 +184,37 @@ impl QueryScenario {
 
     /// Runs the scenario once and judges the outcome.
     pub fn run(&self) -> QueryRun {
+        self.run_in(&mut SweepArena::default())
+    }
+
+    /// Runs the scenario once, reusing the worlds cached in `arena` when
+    /// they match this scenario's cell (see [`SweepArena`]). Sweeps call
+    /// this through one arena per worker so every seed after the first
+    /// recycles the previous run's allocations via [`World::reset`].
+    pub fn run_in(&self, arena: &mut SweepArena) -> QueryRun {
         match self.protocol {
             ProtocolKind::FloodEcho { ttl } => {
                 let delta = self.delay.bound().unwrap_or(TimeDelta::ticks(4));
                 let config = WaveConfig::flood_echo(self.aggregate, delta);
-                self.run_wave(config, ttl)
+                self.run_wave(config, ttl, arena)
             }
             ProtocolKind::SingleTree { ttl } => {
                 let config = WaveConfig::single_tree(self.aggregate);
-                self.run_wave(config, ttl)
+                self.run_wave(config, ttl, arena)
             }
             ProtocolKind::MultiTree { ttl, k } => {
                 let config = WaveConfig::multi_tree(self.aggregate, k);
-                self.run_wave(config, ttl)
+                self.run_wave(config, ttl, arena)
             }
-            ProtocolKind::Gossip { rounds } => self.run_gossip(rounds),
+            ProtocolKind::Gossip { rounds } => self.run_gossip(rounds, arena),
         }
     }
 
-    /// The world builder for this scenario (shared with the
-    /// continuous-query harness).
-    pub(crate) fn scenario_builder<M: Clone + 'static>(&self) -> WorldBuilder<M> {
-        let builder = WorldBuilder::new(self.seed)
-            .initial_graph(self.graph.clone())
-            .policy(self.policy)
-            .delay(self.delay)
-            .loss(self.loss)
-            // Bounded, identically distributed values: the reference
-            // aggregate over the required set and the protocol's answer
-            // over its (allowed) contributor set then differ only through
-            // sampling, not through identity-correlated drift.
-            .values(|_, rng| rng.unit_f64() * 100.0);
+    /// The churn driver for this scenario, boxed so it can feed both
+    /// [`WorldBuilder::boxed_driver`] and [`World::reset`].
+    fn make_driver(&self) -> Box<dyn dds_sim::driver::ChurnDriver> {
         match self.driver {
-            DriverSpec::None => builder.driver(NoChurn),
+            DriverSpec::None => Box::new(NoChurn),
             DriverSpec::Balanced {
                 rate,
                 window,
@@ -224,18 +222,18 @@ impl QueryScenario {
             } => {
                 let spec = ChurnSpec::rate(rate, TimeDelta::ticks(window))
                     .expect("scenario churn rate must be valid");
-                builder.driver(
+                Box::new(
                     BalancedChurn::new(spec)
                         .with_crash_fraction(crash_fraction)
                         .with_protected(self.initiator()),
                 )
             }
-            DriverSpec::Growth { per_window, window, cap } => builder.driver(Growth {
+            DriverSpec::Growth { per_window, window, cap } => Box::new(Growth {
                 growth_per_window: per_window,
                 window: TimeDelta::ticks(window),
                 cap,
             }),
-            DriverSpec::PathStretch { window } => builder.driver(PathStretch {
+            DriverSpec::PathStretch { window } => Box::new(PathStretch {
                 initiator: self.initiator(),
                 witness: self.witness(),
                 window: TimeDelta::ticks(window),
@@ -244,20 +242,72 @@ impl QueryScenario {
                 let ids: Vec<ProcessId> = self.graph.nodes().collect();
                 let split_at = ids[ids.len() / 2];
                 let cut = Time::from_ticks(cut_at);
-                builder.driver(match heal_at {
-                    Some(h) => PartitionDriver::transient(cut, Time::from_ticks(h), split_at),
-                    None => PartitionDriver::permanent(cut, split_at),
-                })
+                match heal_at {
+                    Some(h) => {
+                        Box::new(PartitionDriver::transient(cut, Time::from_ticks(h), split_at))
+                    }
+                    None => Box::new(PartitionDriver::permanent(cut, split_at)),
+                }
             }
         }
     }
 
-    fn run_wave(&self, config: WaveConfig, ttl: u32) -> QueryRun {
-        let mut world: World<WaveMsg> = self
-            .scenario_builder()
-            .sink(ObserverSink::default())
-            .spawn(move |_| Box::new(WaveActor::new(config)))
-            .build();
+    /// The world builder for this scenario (shared with the
+    /// continuous-query harness).
+    pub(crate) fn scenario_builder<M: Clone + 'static>(&self) -> WorldBuilder<M> {
+        WorldBuilder::new(self.seed)
+            .initial_graph(self.graph.clone())
+            .policy(self.policy)
+            .delay(self.delay)
+            .loss(self.loss)
+            // Bounded, identically distributed values: the reference
+            // aggregate over the required set and the protocol's answer
+            // over its (allowed) contributor set then differ only through
+            // sampling, not through identity-correlated drift.
+            .values(|_, rng| rng.unit_f64() * 100.0)
+            .boxed_driver(self.make_driver())
+    }
+
+    /// The per-run configuration for [`World::reset`], mirroring what
+    /// [`QueryScenario::scenario_builder`] gives a fresh build.
+    fn reset_spec(&self) -> dds_sim::world::ResetSpec {
+        dds_sim::world::ResetSpec {
+            seed: self.seed,
+            policy: self.policy,
+            delay: self.delay,
+            loss: self.loss,
+            driver: self.make_driver(),
+            sink: Some(Box::new(ObserverSink::default())),
+        }
+    }
+
+    /// The part of the scenario a cached world's spawn closure bakes in
+    /// and [`World::reset`] cannot replace. Everything else (seed, graph,
+    /// churn, loss, policy) is re-supplied on reset.
+    fn arena_key(&self) -> ArenaKey {
+        ArenaKey {
+            protocol: self.protocol,
+            aggregate: self.aggregate,
+            delay: self.delay,
+        }
+    }
+
+    fn run_wave(&self, config: WaveConfig, ttl: u32, arena: &mut SweepArena) -> QueryRun {
+        let key = self.arena_key();
+        let world: &mut World<WaveMsg> = match &mut arena.wave {
+            Some((k, w)) if *k == key => {
+                w.reset(&self.graph, self.reset_spec());
+                w
+            }
+            slot => {
+                let world = self
+                    .scenario_builder()
+                    .sink(ObserverSink::default())
+                    .spawn(move |_| Box::new(WaveActor::new(config)))
+                    .build();
+                &mut slot.insert((key, world)).1
+            }
+        };
         let initiator = self.initiator();
         world.inject(self.start, initiator, WaveMsg::Start { ttl });
         world.observe(ObsEvent::SpanStart {
@@ -308,19 +358,29 @@ impl QueryScenario {
                 )
             }
         };
-        self.judge(&mut world, outcome, finished)
+        self.judge(world, outcome, finished)
     }
 
-    fn run_gossip(&self, rounds: u32) -> QueryRun {
+    fn run_gossip(&self, rounds: u32, arena: &mut SweepArena) -> QueryRun {
         let period = TimeDelta::ticks(
             2 * self.delay.bound().unwrap_or(TimeDelta::ticks(2)).as_ticks(),
         );
         let aggregate = self.aggregate;
-        let mut world: World<GossipMsg> = self
-            .scenario_builder()
-            .sink(ObserverSink::default())
-            .spawn(move |_| Box::new(GossipActor::new(period, aggregate)))
-            .build();
+        let key = self.arena_key();
+        let world: &mut World<GossipMsg> = match &mut arena.gossip {
+            Some((k, w)) if *k == key => {
+                w.reset(&self.graph, self.reset_spec());
+                w
+            }
+            slot => {
+                let world = self
+                    .scenario_builder()
+                    .sink(ObserverSink::default())
+                    .spawn(move |_| Box::new(GossipActor::new(period, aggregate)))
+                    .build();
+                &mut slot.insert((key, world)).1
+            }
+        };
         let initiator = self.initiator();
         world.inject(self.start, initiator, GossipMsg::Start { rounds });
         world.observe(ObsEvent::SpanStart {
@@ -372,7 +432,7 @@ impl QueryScenario {
                 )
             }
         };
-        self.judge(&mut world, outcome, finished)
+        self.judge(world, outcome, finished)
     }
 
     fn judge<M: Clone + 'static>(
@@ -405,7 +465,7 @@ impl QueryScenario {
         });
         let required = presence.present_throughout(&outcome.window);
         let required_values: Vec<f64> =
-            required.iter().filter_map(|p| values.get(p).copied()).collect();
+            required.iter().filter_map(|p| values.get(*p).copied()).collect();
         let truth_over_required = self.aggregate.eval(&required_values);
         // Accuracy is judged against the membership snapshot at query
         // issue — "what was the aggregate when I asked?" — because under
@@ -414,7 +474,7 @@ impl QueryScenario {
         let snapshot_values: Vec<f64> = presence
             .members_at(outcome.window.start())
             .iter()
-            .filter_map(|p| values.get(p).copied())
+            .filter_map(|p| values.get(*p).copied())
             .collect();
         let truth_at_start = self.aggregate.eval(&snapshot_values);
         let relative_error = if outcome.timed_out || !outcome.value.is_finite() {
@@ -437,6 +497,37 @@ impl QueryScenario {
             trace_jsonl,
         }
     }
+}
+
+/// Per-worker world cache for sweeps: one reusable [`World`] per message
+/// type, tagged with the [`ArenaKey`] its spawn closure was built for.
+///
+/// [`QueryScenario::run_in`] resets the cached world (keeping its queue
+/// buckets, slot tables, trace storage and effect buffers) when the key
+/// matches, and rebuilds it when the sweep moves to a different cell.
+/// A reset world reproduces a fresh world's run byte for byte, so sweep
+/// output is independent of how seeds were chunked across arenas.
+#[derive(Default)]
+pub struct SweepArena {
+    wave: Option<(ArenaKey, World<WaveMsg>)>,
+    gossip: Option<(ArenaKey, World<GossipMsg>)>,
+}
+
+impl fmt::Debug for SweepArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepArena")
+            .field("wave", &self.wave.as_ref().map(|(k, _)| k))
+            .field("gossip", &self.gossip.as_ref().map(|(k, _)| k))
+            .finish()
+    }
+}
+
+/// The scenario parameters baked into a cached world's actor factory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ArenaKey {
+    protocol: ProtocolKind,
+    aggregate: AggregateKind,
+    delay: DelayModel,
 }
 
 /// Everything one scenario run produced.
@@ -481,11 +572,13 @@ impl fmt::Display for QueryRun {
     }
 }
 
-/// Runs `scenario` once per seed — one independent world per cell, fanned
-/// across the sweep thread pool (`DDS_THREADS`; see [`dds_sim::parallel`])
-/// — and returns the judged runs **in seed order**. Each cell owns its
-/// world and RNG, so the result vector is bit-identical at any thread
-/// count.
+/// Runs `scenario` once per seed, fanned across the sweep thread pool
+/// (`DDS_THREADS`; see [`dds_sim::parallel`]) — and returns the judged
+/// runs **in seed order**. Each worker keeps one [`SweepArena`] and runs
+/// every seed it claims through it, so after the first build a cell run
+/// costs a [`World::reset`] instead of a full reconstruction. Reset worlds
+/// reproduce fresh worlds byte for byte, so the result vector is
+/// bit-identical at any thread count.
 pub fn run_sweep(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u64>) -> Vec<QueryRun> {
     // The capture flag lives in a thread-local of the *calling* thread;
     // pool workers cannot see it, so it is read here and threaded through
@@ -502,7 +595,12 @@ pub fn run_sweep(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u64>)
             s
         })
         .collect();
-    let runs = dds_sim::parallel::parallel_map(cells, |s| s.run());
+    let runs = dds_sim::parallel::parallel_map_chunked(
+        dds_sim::parallel::thread_count(),
+        cells,
+        SweepArena::default,
+        |arena, s| s.run_in(arena),
+    );
     if capture {
         crate::obs::deposit_traces(runs.iter().filter_map(|r| r.trace_jsonl.clone()));
         crate::obs::deposit_flight_dumps(runs.iter().filter_map(|r| r.flight_dump.clone()));
@@ -772,6 +870,48 @@ mod tests {
         let run = scenario.run();
         assert!(!run.outcome.timed_out);
         assert!(run.relative_error < 0.1, "got {run}");
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_runs_byte_for_byte() {
+        let mut scenario = QueryScenario::new(
+            generate::torus(4, 4),
+            ProtocolKind::FloodEcho { ttl: 8 },
+        );
+        scenario.driver = DriverSpec::Balanced {
+            rate: 0.1,
+            window: 10,
+            crash_fraction: 0.2,
+        };
+        scenario.capture_trace = true;
+        // One arena across every seed (the sweep worker path); each run
+        // must match a fresh single-use world exactly, traces included.
+        let mut arena = SweepArena::default();
+        for seed in 0..6 {
+            let mut cell = scenario.clone();
+            cell.seed = seed;
+            let reused = cell.run_in(&mut arena);
+            let fresh = cell.run();
+            assert_eq!(
+                reused.trace_jsonl, fresh.trace_jsonl,
+                "trace diverged at seed {seed}"
+            );
+            assert_eq!(reused.metrics, fresh.metrics, "metrics diverged at seed {seed}");
+            assert_eq!(
+                format!("{:?}", reused.outcome),
+                format!("{:?}", fresh.outcome),
+                "outcome diverged at seed {seed}"
+            );
+        }
+        // Switching cells (different protocol → different arena key)
+        // rebuilds the cached world instead of reusing a stale factory.
+        let mut gossip = scenario.clone();
+        gossip.protocol = ProtocolKind::Gossip { rounds: 30 };
+        gossip.deadline = Time::from_ticks(2000);
+        let reused = gossip.run_in(&mut arena);
+        let fresh = gossip.run();
+        assert_eq!(reused.trace_jsonl, fresh.trace_jsonl);
+        assert_eq!(format!("{:?}", reused.outcome), format!("{:?}", fresh.outcome));
     }
 
     #[test]

@@ -132,6 +132,14 @@ impl<'a, M> Context<'a, M> {
         self.rng
     }
 
+    /// Picks a uniformly random current neighbor (one RNG draw), or `None`
+    /// when isolated. Use this instead of `rng().choose(neighbors())` — the
+    /// disjoint field borrows are legal here but not through the two
+    /// accessor calls, which forced callers to copy the neighbor slice.
+    pub fn choose_neighbor(&mut self) -> Option<ProcessId> {
+        self.rng.choose(self.neighbors).copied()
+    }
+
     /// Sends `msg` to `to`. Delivery time is sampled from the scenario's
     /// delay model; the message is silently dropped if `to` departs first.
     pub fn send(&mut self, to: ProcessId, msg: M) {

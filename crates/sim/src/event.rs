@@ -3,9 +3,24 @@
 //! Determinism requires total order: events at equal instants are ordered
 //! by their scheduling sequence number, so a run never depends on hash
 //! ordering or allocation addresses (DESIGN.md §7).
+//!
+//! Two interchangeable implementations sit behind [`EventQueue`]:
+//!
+//! * **Calendar** (the default): a two-tier bucket queue. A ring of
+//!   [`RING_SIZE`] per-tick FIFO buckets covers the near future — the
+//!   dominant traffic, since delays and timer periods are a handful of
+//!   ticks — giving O(1) schedule and pop. Events beyond the ring land in
+//!   an overflow binary heap and migrate into buckets as the ring slides
+//!   forward.
+//! * **Heap**: the classical `BinaryHeap<(time, seq)>`, kept for A/B
+//!   comparison behind the `DDS_QUEUE=heap` environment switch.
+//!
+//! Both pop the exact same `(time, seq, event)` sequence for any schedule
+//! (pinned by the `queue_equivalence` property test), so the switch changes
+//! wall-clock only, never results.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use dds_core::process::ProcessId;
@@ -79,53 +94,258 @@ impl<M> PartialOrd for Scheduled<M> {
     }
 }
 
-/// The deterministic event queue.
-#[derive(Debug)]
-pub struct EventQueue<M> {
-    heap: BinaryHeap<Scheduled<M>>,
-    next_seq: u64,
+/// Number of per-tick buckets in the calendar ring. Delays, timer periods
+/// and churn windows in every experiment are well under this; only
+/// deliberately far-future schedules (long deadlines, generous timeouts)
+/// touch the overflow heap.
+const RING_SIZE: u64 = 128;
+
+/// The calendar tier: a sliding window of per-tick FIFO buckets plus an
+/// overflow heap for events beyond the window.
+///
+/// Invariants:
+/// * `cursor` never decreases; every event in bucket `t % RING_SIZE` has
+///   tick `t` with `cursor <= t < cursor + RING_SIZE`.
+/// * the overflow heap only holds events with tick `>= cursor + RING_SIZE`;
+///   whenever `cursor` advances, newly covered events migrate into their
+///   buckets (in `(time, seq)` order, so bucket FIFO order equals seq
+///   order — migrated events were necessarily scheduled before any event
+///   scheduled directly into the same bucket).
+struct Calendar<M> {
+    buckets: Vec<VecDeque<(u64, Event<M>)>>,
+    /// The earliest tick the ring can currently hold.
+    cursor: u64,
+    /// Events held in the ring (the rest are in `overflow`).
+    ring_len: usize,
+    overflow: BinaryHeap<Scheduled<M>>,
 }
 
-impl<M> Default for EventQueue<M> {
-    fn default() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+impl<M> Calendar<M> {
+    fn new() -> Self {
+        Calendar {
+            buckets: (0..RING_SIZE).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn bucket_index(tick: u64) -> usize {
+        (tick % RING_SIZE) as usize
+    }
+
+    fn schedule(&mut self, at: Time, seq: u64, event: Event<M>) {
+        // The kernel never schedules into the past (`World::inject`
+        // asserts it); clamping keeps the bucket mapping safe regardless.
+        let tick = at.as_ticks().max(self.cursor);
+        if tick < self.cursor + RING_SIZE {
+            self.buckets[Self::bucket_index(tick)].push_back((seq, event));
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Scheduled { at, seq, event });
+        }
+    }
+
+    /// Slides the window start to `tick` and pulls every overflow event the
+    /// wider window now covers into its bucket.
+    fn advance_to(&mut self, tick: u64) {
+        debug_assert!(tick >= self.cursor);
+        self.cursor = tick;
+        let end = self.cursor + RING_SIZE;
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|s| s.at.as_ticks() < end)
+        {
+            let s = self.overflow.pop().expect("peeked");
+            self.buckets[Self::bucket_index(s.at.as_ticks())].push_back((s.seq, s.event));
+            self.ring_len += 1;
+        }
+    }
+
+    /// The tick of the earliest pending event, scanning the ring from the
+    /// cursor (the overflow heap cannot beat a ring event by invariant).
+    fn next_tick(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return self.overflow.peek().map(|s| s.at.as_ticks());
+        }
+        (self.cursor..self.cursor + RING_SIZE)
+            .find(|&t| !self.buckets[Self::bucket_index(t)].is_empty())
+    }
+
+    fn pop(&mut self) -> Option<(Time, Event<M>)> {
+        if self.ring_len == 0 {
+            // Ring empty: jump straight to the earliest overflow tick.
+            let tick = self.overflow.peek()?.at.as_ticks();
+            self.advance_to(tick);
+        }
+        let tick = self
+            .next_tick()
+            .expect("ring_len > 0 guarantees an occupied bucket");
+        if tick > self.cursor {
+            self.advance_to(tick);
+        }
+        let (_, event) = self.buckets[Self::bucket_index(tick)]
+            .pop_front()
+            .expect("next_tick found this bucket occupied");
+        self.ring_len -= 1;
+        Some((Time::from_ticks(tick), event))
+    }
+
+    fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cursor = 0;
+        self.ring_len = 0;
+        self.overflow.clear();
+    }
+}
+
+/// Which backing store an [`EventQueue`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Two-tier calendar/bucket queue (the default).
+    Calendar,
+    /// Legacy binary heap (`DDS_QUEUE=heap`).
+    Heap,
+}
+
+impl QueueKind {
+    /// Stable lowercase label (`"calendar"` / `"heap"`), used in bench
+    /// reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            QueueKind::Calendar => "calendar",
+            QueueKind::Heap => "heap",
         }
     }
 }
 
+/// The queue implementation selected by the `DDS_QUEUE` environment
+/// variable: `heap` picks the legacy binary heap, anything else (including
+/// unset) the calendar queue.
+pub fn configured_queue_kind() -> QueueKind {
+    match std::env::var("DDS_QUEUE") {
+        Ok(v) if v.eq_ignore_ascii_case("heap") => QueueKind::Heap,
+        _ => QueueKind::Calendar,
+    }
+}
+
+enum Tier<M> {
+    Calendar(Calendar<M>),
+    Heap(BinaryHeap<Scheduled<M>>),
+}
+
+/// The deterministic event queue.
+pub struct EventQueue<M> {
+    tier: Tier<M>,
+    next_seq: u64,
+}
+
+impl<M> fmt::Debug for EventQueue<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("kind", &self.kind())
+            .field("len", &self.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<M> EventQueue<M> {
-    /// Creates an empty queue.
+    /// Creates an empty queue of the [`configured_queue_kind`].
     pub fn new() -> Self {
-        Self::default()
+        match configured_queue_kind() {
+            QueueKind::Calendar => Self::calendar(),
+            QueueKind::Heap => Self::heap(),
+        }
+    }
+
+    /// Creates an empty calendar queue (ignoring `DDS_QUEUE`).
+    pub fn calendar() -> Self {
+        EventQueue {
+            tier: Tier::Calendar(Calendar::new()),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty legacy heap queue (ignoring `DDS_QUEUE`).
+    pub fn heap() -> Self {
+        EventQueue {
+            tier: Tier::Heap(BinaryHeap::new()),
+            next_seq: 0,
+        }
+    }
+
+    /// Which backing store this queue uses.
+    pub fn kind(&self) -> QueueKind {
+        match self.tier {
+            Tier::Calendar(_) => QueueKind::Calendar,
+            Tier::Heap(_) => QueueKind::Heap,
+        }
     }
 
     /// Schedules `event` for dispatch at `at`.
     pub fn schedule(&mut self, at: Time, event: Event<M>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        match &mut self.tier {
+            Tier::Calendar(c) => c.schedule(at, seq, event),
+            Tier::Heap(h) => h.push(Scheduled { at, seq, event }),
+        }
     }
 
     /// Removes and returns the earliest event (FIFO among equal instants).
     pub fn pop(&mut self) -> Option<(Time, Event<M>)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        match &mut self.tier {
+            Tier::Calendar(c) => c.pop(),
+            Tier::Heap(h) => h.pop().map(|s| (s.at, s.event)),
+        }
     }
 
     /// The instant of the next event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|s| s.at)
+        match &self.tier {
+            Tier::Calendar(c) => c.next_tick().map(Time::from_ticks),
+            Tier::Heap(h) => h.peek().map(|s| s.at),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.tier {
+            Tier::Calendar(c) => c.len(),
+            Tier::Heap(h) => h.len(),
+        }
     }
 
     /// `true` when no event is pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Drops every pending event and rewinds the clock window and sequence
+    /// counter to a fresh-queue state, **keeping** every allocation (ring
+    /// buckets, heap storage) for the next run — the cross-seed reuse path
+    /// of [`crate::world::World::reset`].
+    pub fn clear(&mut self) {
+        self.next_seq = 0;
+        match &mut self.tier {
+            Tier::Calendar(c) => c.clear(),
+            Tier::Heap(h) => h.clear(),
+        }
     }
 }
 
@@ -137,28 +357,104 @@ mod tests {
         Time::from_ticks(n)
     }
 
+    fn queues() -> [EventQueue<u8>; 2] {
+        [EventQueue::calendar(), EventQueue::heap()]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        q.schedule(t(5), Event::ChurnTick);
-        q.schedule(t(2), Event::ChurnTick);
-        q.schedule(t(9), Event::ChurnTick);
-        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(at, _)| at.as_ticks())
-            .collect();
-        assert_eq!(times, vec![2, 5, 9]);
+        for mut q in queues() {
+            q.schedule(t(5), Event::ChurnTick);
+            q.schedule(t(2), Event::ChurnTick);
+            q.schedule(t(9), Event::ChurnTick);
+            let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(at, _)| at.as_ticks())
+                .collect();
+            assert_eq!(times, vec![2, 5, 9], "{:?}", q.kind());
+        }
     }
 
     #[test]
     fn equal_times_are_fifo() {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        for i in 0..10u32 {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let mut q: EventQueue<u32> = match kind {
+                QueueKind::Calendar => EventQueue::calendar(),
+                QueueKind::Heap => EventQueue::heap(),
+            };
+            for i in 0..10u32 {
+                q.schedule(
+                    t(3),
+                    Event::Deliver {
+                        from: ProcessId::from_raw(0),
+                        to: ProcessId::from_raw(0),
+                        sent: t(3),
+                        msg: i,
+                    },
+                );
+            }
+            let msgs: Vec<u32> = std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| match e {
+                    Event::Deliver { msg, .. } => msg,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(msgs, (0..10).collect::<Vec<_>>(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        for mut q in queues() {
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.schedule(t(7), Event::ChurnTick);
+            assert_eq!(q.peek_time(), Some(t(7)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        for mut q in queues() {
+            q.schedule(t(4), Event::ChurnTick);
+            q.schedule(t(1), Event::ChurnTick);
+            assert_eq!(q.pop().unwrap().0, t(1));
+            q.schedule(t(2), Event::ChurnTick);
+            assert_eq!(q.pop().unwrap().0, t(2));
+            assert_eq!(q.pop().unwrap().0, t(4));
+            assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_come_back() {
+        let mut q: EventQueue<u8> = EventQueue::calendar();
+        // Far beyond the ring: must overflow, then migrate back in order.
+        q.schedule(t(5 * RING_SIZE), Event::ChurnTick);
+        q.schedule(t(1), Event::ChurnTick);
+        q.schedule(t(5 * RING_SIZE), Event::ChurnTick);
+        q.schedule(t(RING_SIZE + 3), Event::ChurnTick);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop().unwrap().0, t(1));
+        assert_eq!(q.peek_time(), Some(t(RING_SIZE + 3)));
+        assert_eq!(q.pop().unwrap().0, t(RING_SIZE + 3));
+        assert_eq!(q.pop().unwrap().0, t(5 * RING_SIZE));
+        assert_eq!(q.pop().unwrap().0, t(5 * RING_SIZE));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_ties_keep_fifo_order_after_migration() {
+        let mut q: EventQueue<u32> = EventQueue::calendar();
+        let far = t(3 * RING_SIZE + 7);
+        for i in 0..20u32 {
             q.schedule(
-                t(3),
+                far,
                 Event::Deliver {
                     from: ProcessId::from_raw(0),
                     to: ProcessId::from_raw(0),
-                    sent: t(3),
+                    sent: far,
                     msg: i,
                 },
             );
@@ -169,29 +465,26 @@ mod tests {
                 _ => unreachable!(),
             })
             .collect();
-        assert_eq!(msgs, (0..10).collect::<Vec<_>>());
+        assert_eq!(msgs, (0..20).collect::<Vec<_>>());
     }
 
     #[test]
-    fn peek_does_not_remove() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.schedule(t(7), Event::ChurnTick);
-        assert_eq!(q.peek_time(), Some(t(7)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+    fn clear_resets_state_but_queue_stays_usable() {
+        for mut q in queues() {
+            q.schedule(t(3), Event::ChurnTick);
+            q.schedule(t(900), Event::ChurnTick);
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            // A cleared queue accepts near-past times again (fresh run).
+            q.schedule(t(1), Event::ChurnTick);
+            assert_eq!(q.pop().unwrap().0, t(1));
+        }
     }
 
     #[test]
-    fn interleaved_schedule_and_pop_stays_ordered() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        q.schedule(t(4), Event::ChurnTick);
-        q.schedule(t(1), Event::ChurnTick);
-        assert_eq!(q.pop().unwrap().0, t(1));
-        q.schedule(t(2), Event::ChurnTick);
-        assert_eq!(q.pop().unwrap().0, t(2));
-        assert_eq!(q.pop().unwrap().0, t(4));
-        assert!(q.pop().is_none());
+    fn kind_labels() {
+        assert_eq!(EventQueue::<u8>::calendar().kind().label(), "calendar");
+        assert_eq!(EventQueue::<u8>::heap().kind().label(), "heap");
     }
 }

@@ -13,7 +13,8 @@
 //! - [`delay`] — message delay/loss models realizing the timing dimension;
 //! - [`event`] — the deterministic event queue;
 //! - [`metrics`] — run counters;
-//! - [`parallel`] — cross-seed parallel sweep execution (`DDS_THREADS`).
+//! - [`parallel`] — cross-seed parallel sweep execution (`DDS_THREADS`);
+//! - [`slots`] — dense identity-indexed kernel tables.
 //!
 //! Determinism contract: a run is a pure function of the builder
 //! configuration and the seed. No wall clock, no OS randomness, no hash
@@ -55,6 +56,7 @@ pub mod event;
 pub mod metrics;
 pub mod parallel;
 pub mod partition;
+pub mod slots;
 pub mod world;
 
 pub use actor::{Actor, Context};

@@ -109,6 +109,59 @@ where
         .collect()
 }
 
+/// Like [`parallel_map_with`], but each worker first builds a private
+/// arena with `init` and threads it through every item it processes —
+/// the hook the protocol harness's `run_sweep` uses to reuse one `World`'s
+/// allocations across all the seeds a worker
+/// claims. Results still come back in input order, and with `threads <= 1`
+/// the whole list runs sequentially through one arena, so the output is
+/// independent of the worker count as long as `f` is a pure function of
+/// `(arena-config, item)` — which `World::reset` guarantees.
+pub fn parallel_map_chunked<T, R, A, I, F>(threads: usize, items: Vec<T>, init: I, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        let mut arena = init();
+        return items.into_iter().map(|t| f(&mut arena, t)).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(jobs.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut arena = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let item = jobs[i]
+                        .lock()
+                        .expect("job mutex poisoned")
+                        .take()
+                        .expect("each job is claimed exactly once");
+                    let result = f(&mut arena, item);
+                    *slots[i].lock().expect("slot mutex poisoned") = Some(result);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +201,27 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let got = parallel_map_with(64, vec![1, 2, 3], |x| x * 10);
         assert_eq!(got, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn chunked_map_matches_plain_map_and_reuses_arenas() {
+        // The arena counts how many items this worker processed; the result
+        // must not depend on it (pure function of the item), and the counts
+        // prove arenas are actually threaded through multiple items.
+        let seeds: Vec<u64> = (0..40).collect();
+        let expected: Vec<u64> = seeds.iter().map(|s| s * 3).collect();
+        for threads in [1, 2, 8] {
+            let got = parallel_map_chunked(
+                threads,
+                seeds.clone(),
+                || 0usize,
+                |count, s| {
+                    *count += 1;
+                    s * 3
+                },
+            );
+            assert_eq!(got, expected, "threads={threads}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! (neighbor up/down, starts) run as nested callbacks at the same instant.
 
 use std::any::Any;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 use dds_core::process::{IdSource, ProcessId};
@@ -28,6 +28,7 @@ use crate::delay::{DelayModel, LossModel};
 use crate::driver::{ChurnAction, ChurnDriver, NoChurn};
 use crate::event::{Event, EventQueue, TimerId};
 use crate::metrics::Metrics;
+use crate::slots::{DenseMap, SlotTable};
 
 /// How the knowledge graph evolves when processes join and depart.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +145,13 @@ impl<M: Clone + 'static> WorldBuilder<M> {
         self
     }
 
+    /// Sets the churn driver from an already-boxed trait object (the form
+    /// harnesses that also feed [`World::reset`] keep it in).
+    pub fn boxed_driver(mut self, driver: Box<dyn ChurnDriver>) -> Self {
+        self.driver = driver;
+        self
+    }
+
     /// Sets the actor factory invoked for every process that enters the
     /// system.
     pub fn spawn(mut self, f: impl FnMut(ProcessId) -> Box<dyn Actor<M>> + 'static) -> Self {
@@ -174,17 +182,11 @@ impl<M: Clone + 'static> WorldBuilder<M> {
     /// Panics if no actor factory was provided.
     pub fn build(self) -> World<M> {
         let spawn = self.spawn.expect("WorldBuilder::spawn is required");
-        let next_raw = self
-            .initial_graph
-            .nodes()
-            .map(|p| p.as_raw() + 1)
-            .max()
-            .unwrap_or(0);
         let mut world = World {
             now: Time::ZERO,
             queue: EventQueue::new(),
             rng: Rng::seeded(self.seed),
-            ids: IdSource::starting_at(next_raw),
+            ids: IdSource::new(),
             graph: Graph::new(),
             policy: self.policy,
             delay: self.delay,
@@ -192,9 +194,8 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             driver: self.driver,
             spawn,
             value_fn: self.value,
-            actors: BTreeMap::new(),
-            departed: BTreeMap::new(),
-            values: BTreeMap::new(),
+            actors: SlotTable::new(),
+            values: DenseMap::new(),
             members: Vec::new(),
             trace: Trace::new(),
             metrics: Metrics::default(),
@@ -203,32 +204,37 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             effect_buf: Vec::new(),
             sink: self.sink,
         };
-        let intent = world.driver.intent();
+        world.seat_initial(&self.initial_graph);
         world
-            .trace
-            .set_intent(intent.arrivals_finite, intent.concurrency_finite);
-        // Seat the initial membership.
-        let initial = self.initial_graph;
-        for pid in initial.nodes() {
-            let value = (world.value_fn)(pid, &mut world.rng);
-            world.values.insert(pid, value);
-            let actor = (world.spawn)(pid);
-            world.actors.insert(pid, actor);
-            world.trace.push(TraceEvent::Join { pid, at: Time::ZERO });
-            world.metrics.joins += 1;
-            world.emit(ObsEvent::Join { pid, at: Time::ZERO });
-        }
-        world.graph = initial;
-        world.members = world.graph.nodes().collect();
-        world.metrics.max_membership = world.graph.node_count();
-        for i in 0..world.members.len() {
-            world.callbacks.push_back(Callback::Start(world.members[i]));
-        }
-        world.drain_callbacks();
-        if let Some(t) = world.driver.initial_wakeup() {
-            world.queue.schedule(t, Event::ChurnTick);
-        }
-        world
+    }
+}
+
+/// The per-run configuration [`World::reset`] replaces: everything a
+/// [`WorldBuilder`] sets except the initial graph (passed alongside, by
+/// reference) and the actor/value factories, which the reused world keeps.
+pub struct ResetSpec {
+    /// Determinism seed for the new run.
+    pub seed: u64,
+    /// Topology maintenance policy.
+    pub policy: TopologyPolicy,
+    /// Message delay model.
+    pub delay: DelayModel,
+    /// Message loss model.
+    pub loss: LossModel,
+    /// Churn driver for the new run.
+    pub driver: Box<dyn ChurnDriver>,
+    /// Observability sink, if any.
+    pub sink: Option<Box<dyn Sink>>,
+}
+
+impl fmt::Debug for ResetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResetSpec")
+            .field("seed", &self.seed)
+            .field("policy", &self.policy)
+            .field("delay", &self.delay)
+            .field("loss", &self.loss)
+            .finish_non_exhaustive()
     }
 }
 
@@ -272,9 +278,11 @@ pub struct World<M> {
     driver: Box<dyn ChurnDriver>,
     spawn: SpawnFn<M>,
     value_fn: ValueFn,
-    actors: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
-    departed: BTreeMap<ProcessId, Box<dyn Actor<M>>>,
-    values: BTreeMap<ProcessId, f64>,
+    /// Dense identity-indexed actor table; present actors dispatch,
+    /// departed ones are retained for post-run inspection.
+    actors: SlotTable<Box<dyn Actor<M>>>,
+    /// Dense identity-indexed local values (retained after departure).
+    values: DenseMap<f64>,
     /// Membership cache mirroring `graph`'s node set in identity order —
     /// maintained on join/depart so `members()` never re-collects.
     members: Vec<ProcessId>,
@@ -305,6 +313,65 @@ impl<M: Clone + 'static> World<M> {
     /// The current virtual time.
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// Seats the initial membership of a (fresh or reset) world and runs
+    /// the `on_start` callbacks at `t = 0`.
+    fn seat_initial(&mut self, initial: &Graph) {
+        let next_raw = initial.nodes().map(|p| p.as_raw() + 1).max().unwrap_or(0);
+        self.ids = IdSource::starting_at(next_raw);
+        let intent = self.driver.intent();
+        self.trace
+            .set_intent(intent.arrivals_finite, intent.concurrency_finite);
+        for pid in initial.nodes() {
+            let value = (self.value_fn)(pid, &mut self.rng);
+            self.values.insert(pid, value);
+            let actor = (self.spawn)(pid);
+            self.actors.insert(pid, actor);
+            self.trace.push(TraceEvent::Join { pid, at: Time::ZERO });
+            self.metrics.joins += 1;
+            self.emit(ObsEvent::Join { pid, at: Time::ZERO });
+        }
+        self.graph = initial.clone();
+        self.members.clear();
+        self.members.extend(self.graph.nodes());
+        self.metrics.max_membership = self.graph.node_count();
+        for i in 0..self.members.len() {
+            self.callbacks.push_back(Callback::Start(self.members[i]));
+        }
+        self.drain_callbacks();
+        if let Some(t) = self.driver.initial_wakeup() {
+            self.queue.schedule(t, Event::ChurnTick);
+        }
+    }
+
+    /// Rewinds this world to the state a fresh [`WorldBuilder::build`]
+    /// with the given configuration would produce, **reusing** the
+    /// allocations accumulated by previous runs: event-queue buckets, the
+    /// callback queue, the effect buffer, the member cache, and the slot
+    /// and trace storage. The actor factory and value function from the
+    /// original build are kept — reuse a world only across runs that share
+    /// them (a sweep cell where only the seed varies, in practice).
+    ///
+    /// A reset world reproduces a freshly built world's run byte for byte
+    /// (pinned by the `world_reset` regression test).
+    pub fn reset(&mut self, initial_graph: &Graph, spec: ResetSpec) {
+        self.now = Time::ZERO;
+        self.queue.clear();
+        self.rng = Rng::seeded(spec.seed);
+        self.policy = spec.policy;
+        self.delay = spec.delay;
+        self.loss = spec.loss;
+        self.driver = spec.driver;
+        self.actors.clear();
+        self.values.clear();
+        self.members.clear();
+        self.trace.clear();
+        self.metrics = Metrics::default();
+        self.next_timer = 0;
+        self.callbacks.clear();
+        self.sink = spec.sink;
+        self.seat_initial(initial_graph);
     }
 
     /// The current membership, in identity order. Borrows a cached list —
@@ -356,11 +423,11 @@ impl<M: Clone + 'static> World<M> {
 
     /// The local value of a process (present or departed).
     pub fn value_of(&self, pid: ProcessId) -> Option<f64> {
-        self.values.get(&pid).copied()
+        self.values.get(pid).copied()
     }
 
     /// The local values of every process that ever joined.
-    pub fn values(&self) -> &BTreeMap<ProcessId, f64> {
+    pub fn values(&self) -> &DenseMap<f64> {
         &self.values
     }
 
@@ -372,13 +439,10 @@ impl<M: Clone + 'static> World<M> {
     /// Inspects an actor's state by downcasting (present or departed
     /// processes).
     pub fn actor<A: Actor<M>>(&self, pid: ProcessId) -> Option<&A> {
-        self.actors
-            .get(&pid)
-            .or_else(|| self.departed.get(&pid))
-            .and_then(|a| {
-                let any: &dyn Any = &**a;
-                any.downcast_ref::<A>()
-            })
+        self.actors.get_any(pid).and_then(|a| {
+            let any: &dyn Any = &**a;
+            any.downcast_ref::<A>()
+        })
     }
 
     /// Schedules delivery of `msg` to `pid` at instant `at` (from itself) —
@@ -412,7 +476,7 @@ impl<M: Clone + 'static> World<M> {
         }
         match event {
             Event::Deliver { from, to, sent, msg } => {
-                if self.actors.contains_key(&to) {
+                if self.actors.contains(to) {
                     self.trace.push(TraceEvent::Deliver { from, to, at });
                     self.metrics.delivers += 1;
                     if self.sink.is_some() {
@@ -431,7 +495,7 @@ impl<M: Clone + 'static> World<M> {
                 }
             }
             Event::Timer { pid, timer } => {
-                if self.actors.contains_key(&pid) {
+                if self.actors.contains(pid) {
                     self.metrics.timer_fires += 1;
                     self.emit(ObsEvent::TimerFire { pid, at });
                     self.callbacks.push_back(Callback::Timer { pid, timer });
@@ -577,9 +641,7 @@ impl<M: Clone + 'static> World<M> {
         if let Ok(i) = self.members.binary_search(&pid) {
             self.members.remove(i);
         }
-        if let Some(actor) = self.actors.remove(&pid) {
-            self.departed.insert(pid, actor);
-        }
+        self.actors.depart(pid);
         if crashed {
             self.trace.push(TraceEvent::Crash { pid, at: self.now });
             self.metrics.crashes += 1;
@@ -626,10 +688,10 @@ impl<M: Clone + 'static> World<M> {
             | Callback::NeighborDown { pid: p, .. }
             | Callback::NeighborBridge { pid: p, .. } => *p,
         };
-        let Some(mut actor) = self.actors.remove(&pid) else {
+        let Some(mut actor) = self.actors.take(pid) else {
             return; // departed between scheduling and dispatch
         };
-        let value = self.values.get(&pid).copied().unwrap_or(0.0);
+        let value = self.values.get(pid).copied().unwrap_or(0.0);
         // Borrow the neighbor slice straight out of the graph and hand the
         // kernel's reusable effect buffer to the context: no per-dispatch
         // allocation. The graph cannot change while the callback runs (all

@@ -48,8 +48,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Re-arms a one-tick timer forever: each dispatch pops one event and
-/// schedules one, so every kernel buffer (event heap, callback queue,
-/// effect buffer) holds a steady size. Timer events also record no trace
+/// schedules one, so every kernel buffer (calendar bucket ring, callback
+/// queue, effect buffer) holds a steady size. Timer events also record no trace
 /// entry, so the trace vector cannot amortize-grow inside the window.
 struct Metronome;
 
@@ -71,12 +71,14 @@ fn dispatch_without_sink_allocates_nothing() {
         .initial_graph(generate::ring(8))
         .spawn(|_| Box::new(Metronome))
         .build();
-    // Warm up: let every buffer reach its steady capacity.
-    world.run_until(Time::from_ticks(100));
+    // Warm up: let every buffer reach its steady capacity. Must exceed one
+    // full revolution of the calendar queue's bucket ring so every per-tick
+    // bucket has grown to hold the ring's worth of timers.
+    world.run_until(Time::from_ticks(300));
     let fires_before = world.metrics().timer_fires;
 
     let before = ALLOCS.load(Ordering::SeqCst);
-    world.run_until(Time::from_ticks(1100));
+    world.run_until(Time::from_ticks(1300));
     let after = ALLOCS.load(Ordering::SeqCst);
 
     let fired = world.metrics().timer_fires - fires_before;

@@ -1,0 +1,109 @@
+//! Property test: the calendar queue and the legacy binary heap are
+//! observationally identical.
+//!
+//! Both implementations must pop the exact same `(time, event)` sequence
+//! for any schedule — that is the whole determinism argument for making
+//! the calendar the default (`DDS_QUEUE` switches implementations, never
+//! results). Random operation sequences exercise same-tick FIFO ties,
+//! far-future schedules that land in the overflow heap, interleaved
+//! schedule/pop traffic that slides the ring window, and draining.
+
+use dds_core::process::ProcessId;
+use dds_core::time::Time;
+use dds_sim::event::{Event, EventQueue};
+use proptest::prelude::*;
+
+/// One step of a queue workload: schedule an event `delta` ticks from the
+/// current virtual time, or pop the next event.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Schedule { delta: u64 },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Deltas cross the ring boundary (128) in both directions: 0..=20
+    // models kernel traffic, the larger bands force overflow migration,
+    // including ties deep in the far future. Repeated arms weight the
+    // union (the vendored prop_oneof! has no weight syntax).
+    prop_oneof![
+        (0u64..21).prop_map(|delta| Op::Schedule { delta }),
+        (0u64..21).prop_map(|delta| Op::Schedule { delta }),
+        (120u64..141).prop_map(|delta| Op::Schedule { delta }),
+        (300u64..2001).prop_map(|delta| Op::Schedule { delta }),
+        Just(Op::Pop),
+        Just(Op::Pop),
+        Just(Op::Pop),
+    ]
+}
+
+/// Replays `ops` against one queue; returns every popped `(time, payload)`.
+/// The payload is the schedule index, so FIFO tie order is observable.
+fn replay(mut queue: EventQueue<u32>, ops: &[Op]) -> Vec<(Time, u32)> {
+    let pid = ProcessId::from_raw(0);
+    let mut now = Time::ZERO;
+    let mut next_payload = 0u32;
+    let mut popped = Vec::new();
+    for &op in ops {
+        match op {
+            Op::Schedule { delta } => {
+                let at = now + dds_core::time::TimeDelta::ticks(delta);
+                queue.schedule(
+                    at,
+                    Event::Deliver { from: pid, to: pid, sent: now, msg: next_payload },
+                );
+                next_payload += 1;
+            }
+            Op::Pop => {
+                if let Some((at, event)) = queue.pop() {
+                    now = at; // the kernel's clock follows pops
+                    let Event::Deliver { msg, .. } = event else {
+                        panic!("only Deliver events were scheduled");
+                    };
+                    popped.push((at, msg));
+                }
+            }
+        }
+    }
+    // Drain whatever is left so the tail order is compared too.
+    while let Some((at, event)) = queue.pop() {
+        let Event::Deliver { msg, .. } = event else {
+            panic!("only Deliver events were scheduled");
+        };
+        popped.push((at, msg));
+    }
+    popped
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Calendar and heap pop identical sequences for arbitrary workloads.
+    #[test]
+    fn calendar_and_heap_pop_identically(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let calendar = replay(EventQueue::calendar(), &ops);
+        let heap = replay(EventQueue::heap(), &ops);
+        prop_assert_eq!(&calendar, &heap);
+        // And the shared contract: times never decrease, equal times keep
+        // schedule (seq) order — FIFO ties.
+        for pair in calendar.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "pop order went backwards");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "same-tick events out of schedule order");
+            }
+        }
+    }
+
+    /// A cleared queue replays like a fresh one (the `World::reset` path).
+    #[test]
+    fn cleared_calendar_replays_like_fresh(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let fresh = replay(EventQueue::calendar(), &ops);
+        let mut reused: EventQueue<u32> = EventQueue::calendar();
+        for i in 0..50u64 {
+            reused.schedule(Time::from_ticks(i * 7 % 300), Event::ChurnTick);
+        }
+        reused.pop();
+        reused.clear();
+        prop_assert_eq!(replay(reused, &ops), fresh);
+    }
+}
