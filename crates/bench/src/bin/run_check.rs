@@ -1,0 +1,197 @@
+//! Budgeted schedule exploration over the dds-check validation suite.
+//!
+//! Usage: `run_check [--json <file>] [--dump-dir <dir>] [--max-runs N]
+//! [--max-preemptions N] [--fuzz-attempts N] [--seed N]`.
+//!
+//! Runs every correct/mutant pair in [`dds_check::mutants::suite`] through
+//! the bounded explorer, falling back to the seeded fuzzer for mutants the
+//! explorer misses within budget. A correct target that yields a
+//! counterexample, or a mutant that escapes both passes, is a suite
+//! failure: the process exits 4 (the CI checking gate). Exit 2 is bad
+//! arguments.
+//!
+//! With `--json <file>` a summary document in the `BENCH_sweeps.json`
+//! style is written there; it contains no wall-clock fields, so reruns —
+//! at any `DDS_THREADS` — are byte-identical (CI diffs two of them). With
+//! `--dump-dir <dir>` every counterexample is replayed once more and its
+//! event history dumped as `<dir>/<target>.jsonl` flight-recorder JSONL.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dds_check::mutants::suite;
+use dds_check::{explore, fuzz, Budget, Counterexample};
+
+struct Row {
+    name: String,
+    expect_violation: bool,
+    violation_found: bool,
+    explore_runs: usize,
+    fuzz_runs: usize,
+    exhausted: bool,
+    counterexample: Option<Counterexample>,
+}
+
+impl Row {
+    fn ok(&self) -> bool {
+        self.violation_found == self.expect_violation
+    }
+}
+
+fn main() {
+    let mut json: Option<PathBuf> = None;
+    let mut dump_dir: Option<PathBuf> = None;
+    let mut budget = Budget::default();
+    let mut fuzz_attempts = 200usize;
+    let mut seed = 1u64;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < raw.len() {
+        let need = |i: &mut usize| -> String {
+            *i += 1;
+            raw.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("{} needs an argument", raw[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match raw[i].as_str() {
+            "--json" => json = Some(PathBuf::from(need(&mut i))),
+            "--dump-dir" => dump_dir = Some(PathBuf::from(need(&mut i))),
+            "--max-runs" => budget.max_runs = parse(&need(&mut i)),
+            "--max-preemptions" => budget.max_preemptions = parse(&need(&mut i)),
+            "--fuzz-attempts" => fuzz_attempts = parse(&need(&mut i)),
+            "--seed" => seed = parse(&need(&mut i)),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if let Some(dir) = &dump_dir {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {err}", dir.display());
+            std::process::exit(1);
+        }
+    }
+
+    let start = Instant::now();
+    let mut rows: Vec<Row> = Vec::new();
+    for mut subject in suite() {
+        let target = subject.target.as_mut();
+        let explored = explore(target, budget);
+        let mut row = Row {
+            name: target.name().to_string(),
+            expect_violation: subject.expect_violation,
+            violation_found: explored.counterexample.is_some(),
+            explore_runs: explored.runs,
+            fuzz_runs: 0,
+            exhausted: explored.exhausted,
+            counterexample: explored.counterexample,
+        };
+        // Mutants the bounded explorer misses get the deep random pass.
+        if subject.expect_violation && row.counterexample.is_none() {
+            let out = fuzz(target, seed, fuzz_attempts, 2 * budget.max_depth);
+            row.fuzz_runs = out.runs;
+            row.violation_found = out.counterexample.is_some();
+            row.counterexample = out.counterexample;
+        }
+        if let (Some(dir), Some(ce)) = (&dump_dir, &row.counterexample) {
+            let file = dir.join(format!("{}.jsonl", row.name.replace('/', "_")));
+            target.dump_counterexample(&ce.plan, &file, &ce.violation.reason);
+            eprintln!("wrote {}", file.display());
+        }
+        report(&row);
+        rows.push(row);
+    }
+
+    let all_ok = rows.iter().all(Row::ok);
+    eprintln!(
+        "checked {} targets in {:.1} ms: {}",
+        rows.len(),
+        start.elapsed().as_secs_f64() * 1e3,
+        if all_ok { "all verdicts as expected" } else { "VERDICT MISMATCH" }
+    );
+    if let Some(path) = &json {
+        match std::fs::write(path, render_json(&rows, budget, all_ok)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if !all_ok {
+        std::process::exit(4);
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("cannot parse argument {s}");
+        std::process::exit(2);
+    })
+}
+
+fn report(row: &Row) {
+    let verdict = match (row.expect_violation, row.violation_found) {
+        (true, true) => "caught",
+        (false, false) => "clean",
+        (true, false) => "ESCAPED MUTANT",
+        (false, true) => "FALSE ALARM",
+    };
+    print!(
+        "{:28} explore {:4} runs{} ",
+        row.name,
+        row.explore_runs,
+        if row.fuzz_runs > 0 {
+            format!(" + fuzz {:4}", row.fuzz_runs)
+        } else {
+            String::new()
+        }
+    );
+    match &row.counterexample {
+        Some(ce) => println!(
+            "{verdict}: {} (plan {:?}, {} preemption{})",
+            ce.violation.reason,
+            ce.plan,
+            ce.preemptions,
+            if ce.preemptions == 1 { "" } else { "s" }
+        ),
+        None => println!("{verdict}{}", if row.exhausted { " (exhausted)" } else { "" }),
+    }
+}
+
+/// Summary JSON in the `BENCH_sweeps.json` style: hand-rolled, numeric or
+/// known-safe strings only, and — deliberately — no timing fields, so the
+/// document is byte-identical across reruns and thread counts.
+fn render_json(rows: &[Row], budget: Budget, all_ok: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"max_runs\": {}, \"max_depth\": {}, \"max_preemptions\": {}, \"ok\": {},\n  \"targets\": [\n",
+        budget.max_runs, budget.max_depth, budget.max_preemptions, all_ok
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let (plan_len, preemptions) = match &r.counterexample {
+            Some(ce) => (ce.plan.len() as i64, ce.preemptions as i64),
+            None => (-1, -1),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"expect_violation\": {}, \"violation_found\": {}, \
+\"ok\": {}, \"explore_runs\": {}, \"fuzz_runs\": {}, \"exhausted\": {}, \
+\"plan_len\": {}, \"preemptions\": {}}}{}\n",
+            r.name,
+            r.expect_violation,
+            r.violation_found,
+            r.ok(),
+            r.explore_runs,
+            r.fuzz_runs,
+            r.exhausted,
+            plan_len,
+            preemptions,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

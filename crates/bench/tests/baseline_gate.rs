@@ -1,0 +1,76 @@
+//! End-to-end tests for the `run_experiments --baseline` perf gate:
+//! exit 3 on a genuine regression, micro experiments skipped, happy path
+//! green. Each test drives the real binary against a synthetic baseline
+//! file in the `BENCH_sweeps.json` line format.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn write_baseline(tag: &str, id: &str, runs_per_sec: f64, wall_ms: f64) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "dds_baseline_{tag}_{}.json",
+        std::process::id()
+    ));
+    let body = format!(
+        "{{\n  \"experiments\": [\n    {{\"id\": \"{id}\", \"wall_ms\": {wall_ms:.3}, \
+\"runs\": 1, \"runs_per_sec\": {runs_per_sec:.1}}}\n  ]\n}}\n"
+    );
+    std::fs::write(&path, body).expect("write baseline");
+    path
+}
+
+fn run_gate(id: &str, baseline: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(["--baseline", baseline.to_str().unwrap(), id])
+        .output()
+        .expect("run_experiments must start")
+}
+
+/// e9 runs in ~10 ms — fast enough for a test, slow enough to be gated
+/// (its wall time is well past the 5 ms micro cutoff).
+const GATED_ID: &str = "e9";
+
+#[test]
+fn synthetic_regression_fails_with_exit_3() {
+    // A baseline claiming absurd throughput: the real run is necessarily
+    // >30% slower, so the gate must trip.
+    let baseline = write_baseline("regress", GATED_ID, 1e12, 10.0);
+    let out = run_gate(GATED_ID, &baseline);
+    std::fs::remove_file(&baseline).ok();
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("REGRESSED"));
+}
+
+#[test]
+fn micro_experiments_are_skipped() {
+    // Same absurd throughput, but a sub-5ms baseline wall time: the
+    // experiment is too fast to gate and must be skipped, exit 0.
+    let baseline = write_baseline("micro", GATED_ID, 1e12, 0.5);
+    let out = run_gate(GATED_ID, &baseline);
+    std::fs::remove_file(&baseline).ok();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("too fast to gate"));
+}
+
+#[test]
+fn honest_baseline_passes() {
+    // A baseline claiming almost no throughput: any real run beats it.
+    let baseline = write_baseline("happy", GATED_ID, 0.1, 10.0);
+    let out = run_gate(GATED_ID, &baseline);
+    std::fs::remove_file(&baseline).ok();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("ok"));
+}
+
+#[test]
+fn absent_experiment_is_skipped_not_failed() {
+    let baseline = write_baseline("absent", "e99", 1e12, 10.0);
+    let out = run_gate(GATED_ID, &baseline);
+    std::fs::remove_file(&baseline).ok();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("not present, skipping"));
+}
+
+fn stderr(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}

@@ -1,0 +1,53 @@
+//! End-to-end test for `run_check`: the whole validation suite passes
+//! within the default CI budget, and its JSON summary — which embeds
+//! every counterexample's shape — is byte-identical across thread counts,
+//! i.e. counterexamples replay deterministically.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_check(threads: &str, json: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_run_check"))
+        .args(["--json", json.to_str().unwrap()])
+        .env("DDS_THREADS", threads)
+        .output()
+        .expect("run_check must start")
+}
+
+#[test]
+fn suite_verdicts_replay_byte_identically_across_thread_counts() {
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("dds_check_t1_{}.json", std::process::id()));
+    let b = dir.join(format!("dds_check_t8_{}.json", std::process::id()));
+    let out1 = run_check("1", &a);
+    let out8 = run_check("8", &b);
+    assert_eq!(
+        out1.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out1.stderr)
+    );
+    assert_eq!(out8.status.code(), Some(0));
+    let j1 = std::fs::read_to_string(&a).expect("summary written");
+    let j8 = std::fs::read_to_string(&b).expect("summary written");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    assert_eq!(j1, j8, "summaries must be byte-identical");
+    assert!(j1.contains("\"ok\": true"), "suite must be green: {j1}");
+    // Every mutant caught, every correct target clean.
+    assert!(!j1.contains("\"ok\": false"));
+    // stdout (per-target lines) is deterministic too.
+    assert_eq!(
+        String::from_utf8_lossy(&out1.stdout),
+        String::from_utf8_lossy(&out8.stdout)
+    );
+}
+
+#[test]
+fn bad_arguments_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_run_check"))
+        .arg("--frobnicate")
+        .output()
+        .expect("run_check must start");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,374 @@
+//! Bounded exhaustive schedule exploration: replay-based iterative DFS
+//! over decision vectors with a sleep-set partial-order reduction.
+//!
+//! The explorer treats the target as a deterministic function from a
+//! decision vector (one index per same-instant tie) to a run. Starting
+//! from the default schedule (empty vector) it walks the tree of
+//! alternatives depth-first *by replay*: to visit a sibling it re-runs
+//! the target with the shared prefix plus one deviated decision, which
+//! keeps the kernel entirely stateless between runs.
+//!
+//! Three budgets bound the walk:
+//!
+//! - `max_runs` — total target executions (the hard CI budget);
+//! - `max_depth` — only the first `max_depth` choice points may deviate
+//!   (later ties always take the default order);
+//! - `max_preemptions` — at most this many non-default decisions per
+//!   schedule, the classic preemption-bounding heuristic: most
+//!   schedule-dependent bugs need only a couple of inversions.
+//!
+//! When the target opts in ([`Target::reduction_safe`]), sleep sets prune
+//! commutative interleavings: after the subtree dispatching event `e`
+//! first is explored, `e` is put to sleep, and sibling subtrees skip any
+//! alternative whose first event is independent of everything that
+//! happened since — independence being "delivers to a distinct actor"
+//! ([`crate::schedule::ReadyEvent::independent`]), conservatively
+//! invalidated by world mutation (`epoch` changes) and by forced steps
+//! that conflict with a sleeping event. This is a *bounded* reduction: it
+//! prunes schedules whose difference provably cannot matter, and every
+//! seeded mutant must still be caught with it enabled.
+
+use crate::schedule::{ChoicePoint, ReadyEvent};
+use crate::target::{Counterexample, RunReport, Target};
+
+/// Exploration budgets. All three must hold for a deviation to be tried.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum target runs (≥ 1; the default schedule costs one).
+    pub max_runs: usize,
+    /// Deepest choice point allowed to deviate from default order.
+    pub max_depth: usize,
+    /// Maximum non-default decisions per schedule.
+    pub max_preemptions: usize,
+}
+
+impl Default for Budget {
+    /// A CI-friendly budget: 512 runs, 32 choice points, 2 preemptions.
+    fn default() -> Self {
+        Budget {
+            max_runs: 512,
+            max_depth: 32,
+            max_preemptions: 2,
+        }
+    }
+}
+
+/// What the exploration did.
+#[derive(Debug, Clone)]
+pub struct Explored {
+    /// Target runs consumed.
+    pub runs: usize,
+    /// First property violation found, if any.
+    pub counterexample: Option<Counterexample>,
+    /// `true` when the bounded space was fully explored (no violation and
+    /// no budget exhaustion).
+    pub exhausted: bool,
+}
+
+/// One genuine choice point along the current DFS path.
+struct Node {
+    width: usize,
+    ready: Vec<ReadyEvent>,
+    epoch: u64,
+    chosen: usize,
+    tried: Vec<bool>,
+    /// Inherited sleep set (events whose first-dispatch here is pruned).
+    sleep: Vec<ReadyEvent>,
+    /// Executed events of completed sibling subtrees at this node.
+    done: Vec<ReadyEvent>,
+    /// Forced (width-1) steps executed between this choice and the next,
+    /// as seen by the run that built the current suffix.
+    forced_after: Vec<ReadyEvent>,
+}
+
+impl Node {
+    fn executed(&self) -> Option<ReadyEvent> {
+        self.ready.get(self.chosen).copied()
+    }
+
+    fn asleep(&self, ev: &ReadyEvent) -> bool {
+        self.sleep.iter().chain(&self.done).any(|s| s.seq == ev.seq)
+    }
+}
+
+/// Splits a run's schedule log into genuine choice points, each paired
+/// with the forced steps executed after it (before the next choice).
+fn segments(choices: &[ChoicePoint]) -> Vec<(ChoicePoint, Vec<ReadyEvent>)> {
+    let mut out: Vec<(ChoicePoint, Vec<ReadyEvent>)> = Vec::new();
+    for cp in choices {
+        if cp.width > 1 {
+            out.push((cp.clone(), Vec::new()));
+        } else if let (Some(last), Some(ev)) = (out.last_mut(), cp.executed()) {
+            last.1.push(ev);
+        }
+    }
+    out
+}
+
+fn node_from(cp: &ChoicePoint, forced_after: Vec<ReadyEvent>, sleep: Vec<ReadyEvent>) -> Node {
+    let mut tried = vec![false; cp.width];
+    tried[cp.chosen] = true;
+    Node {
+        width: cp.width,
+        ready: cp.ready.clone(),
+        epoch: cp.epoch,
+        chosen: cp.chosen,
+        tried,
+        sleep,
+        done: Vec::new(),
+        forced_after,
+    }
+}
+
+/// The sleep set a child node inherits: everything sleeping at the parent
+/// (inherited + completed siblings) that is independent of the executed
+/// event and of every forced step in between, provided no world mutation
+/// happened (`epoch` unchanged), restricted to the child's ready set.
+fn child_sleep(parent: &Node, child: &ChoicePoint) -> Vec<ReadyEvent> {
+    if child.epoch != parent.epoch {
+        return Vec::new();
+    }
+    let Some(executed) = parent.executed() else {
+        return Vec::new();
+    };
+    parent
+        .sleep
+        .iter()
+        .chain(&parent.done)
+        .filter(|s| {
+            s.independent(&executed)
+                && parent.forced_after.iter().all(|f| s.independent(f))
+                && child.ready.iter().any(|r| r.seq == s.seq)
+        })
+        .copied()
+        .collect()
+}
+
+/// Extends `path` with nodes for every choice point of `report` beyond
+/// the first `keep` (which must match the existing prefix).
+fn extend_path(path: &mut Vec<Node>, keep: usize, report: &RunReport, por: bool) {
+    let segs = segments(&report.choices);
+    if let Some(last) = keep.checked_sub(1) {
+        if let Some((_, forced)) = segs.get(last) {
+            path[last].forced_after = forced.clone();
+        }
+    }
+    path.truncate(keep);
+    for (cp, forced) in segs.into_iter().skip(keep) {
+        let sleep = match (por, path.last()) {
+            (true, Some(parent)) => child_sleep(parent, &cp),
+            _ => Vec::new(),
+        };
+        path.push(node_from(&cp, forced, sleep));
+    }
+}
+
+/// Explores the target's bounded schedule space depth-first, returning
+/// the first violation found (or exhaustion).
+pub fn explore(target: &mut dyn Target, budget: Budget) -> Explored {
+    let por = target.reduction_safe();
+    let mut runs = 0usize;
+    let mut run = |plan: &[usize], runs: &mut usize| {
+        *runs += 1;
+        target.run(plan)
+    };
+
+    let report = run(&[], &mut runs);
+    if let Some(v) = report.violation.clone() {
+        return Explored {
+            runs,
+            counterexample: Some(Counterexample::new(&report.plan(), v)),
+            exhausted: false,
+        };
+    }
+    let mut path: Vec<Node> = Vec::new();
+    extend_path(&mut path, 0, &report, por);
+
+    while runs < budget.max_runs {
+        // Deepest node with an admissible untried alternative.
+        let Some((depth, alt)) = deepest_admissible(&path, budget) else {
+            return Explored {
+                runs,
+                counterexample: None,
+                exhausted: true,
+            };
+        };
+        // The deepest-first discipline means every node below `depth` is
+        // exhausted, so the subtree under the current choice is complete:
+        // its first event goes to sleep for the remaining siblings.
+        if let Some(ev) = path[depth].executed() {
+            path[depth].done.push(ev);
+        }
+        path[depth].tried[alt] = true;
+        path[depth].chosen = alt;
+        let plan: Vec<usize> = path[..=depth].iter().map(|n| n.chosen).collect();
+
+        let report = run(&plan, &mut runs);
+        if let Some(v) = report.violation.clone() {
+            return Explored {
+                runs,
+                counterexample: Some(Counterexample::new(&report.plan(), v)),
+                exhausted: false,
+            };
+        }
+        extend_path(&mut path, depth + 1, &report, por);
+    }
+    Explored {
+        runs,
+        counterexample: None,
+        exhausted: false,
+    }
+}
+
+fn deepest_admissible(path: &[Node], budget: Budget) -> Option<(usize, usize)> {
+    for depth in (0..path.len().min(budget.max_depth)).rev() {
+        let node = &path[depth];
+        let preemptions = path[..depth].iter().filter(|n| n.chosen != 0).count();
+        for alt in 0..node.width {
+            if node.tried[alt] {
+                continue;
+            }
+            if preemptions + usize::from(alt != 0) > budget.max_preemptions {
+                continue;
+            }
+            if let Some(ev) = node.ready.get(alt) {
+                if node.asleep(ev) {
+                    continue;
+                }
+            }
+            return Some((depth, alt));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::Violation;
+    use std::path::Path;
+
+    /// A synthetic target over an explicit decision tree: `widths[k]` is
+    /// the width of the `k`-th choice point; the property fails exactly on
+    /// the `bad` decision vector.
+    struct TreeTarget {
+        widths: Vec<usize>,
+        bad: Option<Vec<usize>>,
+        runs_seen: Vec<Vec<usize>>,
+    }
+
+    impl TreeTarget {
+        fn new(widths: Vec<usize>, bad: Option<Vec<usize>>) -> Self {
+            TreeTarget {
+                widths,
+                bad,
+                runs_seen: Vec::new(),
+            }
+        }
+    }
+
+    impl Target for TreeTarget {
+        fn name(&self) -> &str {
+            "tree"
+        }
+
+        fn run(&mut self, plan: &[usize]) -> RunReport {
+            let resolved: Vec<usize> = self
+                .widths
+                .iter()
+                .enumerate()
+                .map(|(k, &w)| plan.get(k).copied().unwrap_or(0).min(w - 1))
+                .collect();
+            self.runs_seen.push(resolved.clone());
+            let choices = self
+                .widths
+                .iter()
+                .zip(&resolved)
+                .map(|(&width, &chosen)| ChoicePoint {
+                    at: dds_core::time::Time::ZERO,
+                    epoch: 0,
+                    width,
+                    chosen,
+                    ready: Vec::new(),
+                })
+                .collect();
+            let violation = (self.bad.as_deref() == Some(&resolved)).then(|| Violation {
+                reason: "bad schedule reached".into(),
+                details: format!("{resolved:?}"),
+            });
+            RunReport { choices, violation }
+        }
+
+        fn dump_counterexample(&mut self, _: &[usize], _: &Path, _: &str) {}
+    }
+
+    #[test]
+    fn exhausts_a_small_tree() {
+        let mut t = TreeTarget::new(vec![2, 3], None);
+        let out = explore(
+            &mut t,
+            Budget {
+                max_runs: 100,
+                max_depth: 8,
+                max_preemptions: 8,
+            },
+        );
+        assert!(out.exhausted);
+        assert!(out.counterexample.is_none());
+        assert_eq!(out.runs, 6, "2 × 3 schedules, each run once");
+        let mut seen = t.runs_seen.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "no schedule visited twice");
+    }
+
+    #[test]
+    fn finds_a_planted_violation() {
+        let mut t = TreeTarget::new(vec![2, 2, 2], Some(vec![1, 0, 1]));
+        let out = explore(&mut t, Budget::default());
+        let ce = out.counterexample.expect("must find the planted schedule");
+        assert_eq!(ce.plan, vec![1, 0, 1]);
+        assert_eq!(ce.preemptions, 2);
+    }
+
+    #[test]
+    fn preemption_bound_prunes() {
+        // The planted violation needs 3 preemptions; a 2-preemption budget
+        // must exhaust without finding it.
+        let mut t = TreeTarget::new(vec![2, 2, 2], Some(vec![1, 1, 1]));
+        let out = explore(
+            &mut t,
+            Budget {
+                max_runs: 1000,
+                max_depth: 8,
+                max_preemptions: 2,
+            },
+        );
+        assert!(out.counterexample.is_none());
+        assert!(out.exhausted);
+        let out2 = explore(
+            &mut TreeTarget::new(vec![2, 2, 2], Some(vec![1, 1, 1])),
+            Budget {
+                max_runs: 1000,
+                max_depth: 8,
+                max_preemptions: 3,
+            },
+        );
+        assert!(out2.counterexample.is_some());
+    }
+
+    #[test]
+    fn run_budget_is_a_hard_cap() {
+        let mut t = TreeTarget::new(vec![4, 4, 4, 4], None);
+        let out = explore(
+            &mut t,
+            Budget {
+                max_runs: 10,
+                max_depth: 8,
+                max_preemptions: 8,
+            },
+        );
+        assert_eq!(out.runs, 10);
+        assert!(!out.exhausted);
+    }
+}

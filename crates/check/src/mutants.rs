@@ -1,0 +1,434 @@
+//! Seeded mutants: intentionally broken systems the explorer must catch.
+//!
+//! Each entry comes in a correct/mutant pair built from the same harness,
+//! differing in exactly one line of protocol logic. The correct variant
+//! must survive every explored schedule; the mutant must be caught within
+//! the CI budget. Together they validate the whole checking layer: a
+//! checker that catches no mutants is decoration, one that flags correct
+//! systems is noise.
+//!
+//! World-side mutants (kernel scheduling):
+//!
+//! - **flood-merge** — knowledge flooding over a path graph. Correct
+//!   actors *union* incoming origin sets into their own (gossip's origin
+//!   merge); the mutant *overwrites*, forgetting what it knew — under
+//!   churning delivery orders some origin is permanently lost.
+//! - **commit-race** — a two-phase-commit sketch where the prepare for
+//!   one participant travels through two relays. The correct coordinator
+//!   commits after *both* acks; the mutant commits after the *first*,
+//!   opening a same-instant race between `Prepare` and `Commit` at the
+//!   far participant that only an adversarial tie-break exposes — the
+//!   default schedule passes.
+//!
+//! Register-side mutants (harness scheduling): the `write_back: false`
+//! ablations of the t+1 responsive and 2t+1 majority constructions,
+//! whose new/old inversions the statistical sweeps only find by luck.
+
+use dds_core::process::ProcessId;
+use dds_core::spec::register::RegOp;
+use dds_core::time::{Time, TimeDelta};
+use dds_net::graph::Graph;
+use dds_registers::base::ObjectState;
+use dds_registers::construction::Construction;
+use dds_registers::harness::CrashEvent;
+use dds_sim::actor::{Actor, Context};
+use dds_sim::delay::DelayModel;
+use dds_sim::world::{World, WorldBuilder};
+
+use crate::target::{RegisterTarget, Target, Violation, WorldTarget};
+
+/// One suite entry: a target and whether exploration must find a
+/// violation (mutants) or must not (correct variants).
+pub struct Subject {
+    /// The system under check.
+    pub target: Box<dyn Target>,
+    /// `true` for mutants: a violation must be found within budget.
+    pub expect_violation: bool,
+}
+
+/// The full validation suite, correct/mutant pairs interleaved.
+pub fn suite() -> Vec<Subject> {
+    vec![
+        Subject {
+            target: Box::new(flood_target(true)),
+            expect_violation: false,
+        },
+        Subject {
+            target: Box::new(flood_target(false)),
+            expect_violation: true,
+        },
+        Subject {
+            target: Box::new(race_target(true)),
+            expect_violation: false,
+        },
+        Subject {
+            target: Box::new(race_target(false)),
+            expect_violation: true,
+        },
+        Subject {
+            target: Box::new(responsive_register_target(true)),
+            expect_violation: false,
+        },
+        Subject {
+            target: Box::new(responsive_register_target(false)),
+            expect_violation: true,
+        },
+        Subject {
+            target: Box::new(majority_register_target(true)),
+            expect_violation: false,
+        },
+        Subject {
+            target: Box::new(majority_register_target(false)),
+            expect_violation: true,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// flood-merge: knowledge flooding with (or without) the origin merge.
+// ---------------------------------------------------------------------------
+
+/// Floods a bitmask of known process identities. `merge_union` is the
+/// gossip origin merge; without it, an incoming set *replaces* what the
+/// process knew (keeping only its own bit).
+struct Flood {
+    known: u64,
+    merge_union: bool,
+}
+
+impl Actor<u64> for Flood {
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        self.known = 1 << ctx.pid().as_raw();
+        ctx.set_timer(TimeDelta::TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _: dds_sim::event::TimerId) {
+        ctx.broadcast(self.known);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: ProcessId, mask: u64) {
+        let merged = if self.merge_union {
+            self.known | mask
+        } else {
+            mask | (1 << ctx.pid().as_raw())
+        };
+        if merged != self.known {
+            self.known = merged;
+            ctx.broadcast(self.known);
+        }
+    }
+}
+
+/// Path graph of 3; the middle process hears from both ends at the same
+/// instant, so delivery order decides what an overwriting merge forgets.
+fn flood_target(merge_union: bool) -> WorldTarget<u64> {
+    let name = if merge_union {
+        "flood-merge/correct"
+    } else {
+        "flood-merge/mutant"
+    };
+    WorldTarget::new(
+        name,
+        Time::from_ticks(30),
+        move || {
+            WorldBuilder::new(11)
+                .initial_graph(dds_net::generate::path(3))
+                .delay(DelayModel::Fixed(TimeDelta::TICK))
+                .spawn(move |_| {
+                    Box::new(Flood {
+                        known: 0,
+                        merge_union,
+                    })
+                })
+                .build()
+        },
+        |world: &World<u64>| {
+            let all: u64 = world
+                .members()
+                .iter()
+                .map(|p| 1u64 << p.as_raw())
+                .fold(0, |a, b| a | b);
+            for &pid in world.members() {
+                let known = world.actor::<Flood>(pid).expect("flood actor").known;
+                if known != all {
+                    return Err(Violation {
+                        reason: format!("process {pid} lost origins"),
+                        details: format!("knows {known:#b}, expected {all:#b}"),
+                    });
+                }
+            }
+            Ok(())
+        },
+    )
+    .with_reduction()
+}
+
+// ---------------------------------------------------------------------------
+// commit-race: commit must not overtake a relayed prepare.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RaceMsg {
+    Prepare,
+    /// Prepare for the far participant, hopping through the relays.
+    PrepForward,
+    Ack,
+    Commit,
+}
+
+/// p0: sends `Prepare` to p1 directly and via two relays (p3→p4) to p2;
+/// commits after both acks (correct) or after the first (mutant).
+struct Coordinator {
+    acks: usize,
+    wait_for_all: bool,
+}
+
+impl Actor<RaceMsg> for Coordinator {
+    fn on_start(&mut self, ctx: &mut Context<'_, RaceMsg>) {
+        ctx.send(ProcessId::from_raw(3), RaceMsg::PrepForward);
+        ctx.send(ProcessId::from_raw(1), RaceMsg::Prepare);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, RaceMsg>, _: ProcessId, msg: RaceMsg) {
+        if msg == RaceMsg::Ack {
+            self.acks += 1;
+            let quorum = if self.wait_for_all { 2 } else { 1 };
+            if self.acks == quorum {
+                ctx.send(ProcessId::from_raw(1), RaceMsg::Commit);
+                ctx.send(ProcessId::from_raw(2), RaceMsg::Commit);
+            }
+        }
+    }
+}
+
+/// p1 and p2: ack the prepare; flag a commit that arrives unprepared.
+#[derive(Default)]
+struct Participant {
+    prepared: bool,
+    commit_before_prepare: bool,
+}
+
+impl Actor<RaceMsg> for Participant {
+    fn on_message(&mut self, ctx: &mut Context<'_, RaceMsg>, _: ProcessId, msg: RaceMsg) {
+        match msg {
+            RaceMsg::Prepare => {
+                self.prepared = true;
+                ctx.send(ProcessId::from_raw(0), RaceMsg::Ack);
+            }
+            RaceMsg::Commit if !self.prepared => self.commit_before_prepare = true,
+            _ => {}
+        }
+    }
+}
+
+/// p3 and p4: forward `PrepForward` one hop (p3 → p4 → p2).
+struct Relay {
+    next: ProcessId,
+    delivers: RaceMsg,
+}
+
+impl Actor<RaceMsg> for Relay {
+    fn on_message(&mut self, ctx: &mut Context<'_, RaceMsg>, _: ProcessId, msg: RaceMsg) {
+        if msg == RaceMsg::PrepForward {
+            ctx.send(self.next, self.delivers);
+        }
+    }
+}
+
+fn race_target(wait_for_all: bool) -> WorldTarget<RaceMsg> {
+    let name = if wait_for_all {
+        "commit-race/correct"
+    } else {
+        "commit-race/mutant"
+    };
+    WorldTarget::new(
+        name,
+        Time::from_ticks(20),
+        move || {
+            let mut g = Graph::new();
+            for i in 0..5 {
+                g.add_node(ProcessId::from_raw(i));
+            }
+            for (a, b) in [(0, 1), (0, 2), (0, 3), (3, 4), (4, 2)] {
+                g.add_edge(ProcessId::from_raw(a), ProcessId::from_raw(b));
+            }
+            WorldBuilder::new(17)
+                .initial_graph(g)
+                .delay(DelayModel::Fixed(TimeDelta::TICK))
+                .spawn(move |pid| match pid.as_raw() {
+                    0 => Box::new(Coordinator {
+                        acks: 0,
+                        wait_for_all,
+                    }),
+                    1 | 2 => Box::new(Participant::default()) as Box<dyn Actor<RaceMsg>>,
+                    3 => Box::new(Relay {
+                        next: ProcessId::from_raw(4),
+                        delivers: RaceMsg::PrepForward,
+                    }),
+                    _ => Box::new(Relay {
+                        next: ProcessId::from_raw(2),
+                        delivers: RaceMsg::Prepare,
+                    }),
+                })
+                .build()
+        },
+        |world: &World<RaceMsg>| {
+            for pid in [1, 2] {
+                let p = world
+                    .actor::<Participant>(ProcessId::from_raw(pid))
+                    .expect("participant");
+                if p.commit_before_prepare {
+                    return Err(Violation {
+                        reason: format!("participant {pid} committed before preparing"),
+                        details: "Commit overtook the relayed Prepare".into(),
+                    });
+                }
+            }
+            Ok(())
+        },
+    )
+    .with_reduction()
+}
+
+// ---------------------------------------------------------------------------
+// register mutants: the write-back ablations.
+// ---------------------------------------------------------------------------
+
+/// The t+1 responsive construction; without write-back a reader that
+/// observed a concurrent write does not propagate it, so a later reader
+/// can see the older value — a new/old inversion.
+fn responsive_register_target(write_back: bool) -> RegisterTarget {
+    let name = if write_back {
+        "register-responsive/correct"
+    } else {
+        "register-responsive/mutant"
+    };
+    RegisterTarget::new(
+        name,
+        Construction::ResponsiveAll { write_back },
+        2,
+        vec![
+            vec![RegOp::Write(1), RegOp::Write(2), RegOp::Write(3)],
+            vec![RegOp::Read; 3],
+            vec![RegOp::Read; 3],
+        ],
+        vec![CrashEvent {
+            step: 6,
+            index: 0,
+            state: ObjectState::CrashedResponsive,
+        }],
+        0,
+    )
+}
+
+/// The 2t+1 majority construction; without the read write-back two
+/// quorum reads can straddle an in-flight write.
+fn majority_register_target(write_back: bool) -> RegisterTarget {
+    let name = if write_back {
+        "register-majority/correct"
+    } else {
+        "register-majority/mutant"
+    };
+    RegisterTarget::new(
+        name,
+        Construction::MajorityQuorum { write_back },
+        1,
+        vec![
+            vec![RegOp::Write(1), RegOp::Write(2), RegOp::Write(3)],
+            vec![RegOp::Read; 3],
+            vec![RegOp::Read; 3],
+        ],
+        vec![],
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Budget};
+    use crate::fuzz::fuzz;
+
+    fn budget() -> Budget {
+        Budget {
+            max_runs: 2000,
+            max_depth: 48,
+            max_preemptions: 2,
+        }
+    }
+
+    #[test]
+    fn correct_flood_survives_exploration() {
+        let out = explore(&mut flood_target(true), budget());
+        assert!(out.counterexample.is_none(), "{:?}", out.counterexample);
+    }
+
+    #[test]
+    fn sleep_sets_prune_without_losing_exhaustion() {
+        // The same bounded space, with and without the reduction: both
+        // must exhaust (no violation either way), the reduced walk in
+        // strictly fewer runs — commutative delivery orders are skipped,
+        // not lost.
+        let with = explore(&mut flood_target(true), budget());
+        let mut plain = flood_target(true);
+        plain.disable_reduction();
+        let without = explore(&mut plain, budget());
+        assert!(with.exhausted && without.exhausted);
+        assert!(without.counterexample.is_none());
+        assert!(
+            with.runs < without.runs,
+            "reduction must prune: with={} without={}",
+            with.runs,
+            without.runs
+        );
+    }
+
+    #[test]
+    fn mutant_flood_is_caught() {
+        let out = explore(&mut flood_target(false), budget());
+        let ce = out.counterexample.expect("overwrite merge must lose origins");
+        assert!(ce.preemptions <= 2);
+    }
+
+    #[test]
+    fn correct_race_survives_exploration() {
+        let out = explore(&mut race_target(true), budget());
+        assert!(out.counterexample.is_none(), "{:?}", out.counterexample);
+    }
+
+    #[test]
+    fn mutant_race_is_caught_and_needs_a_deviation() {
+        // The default schedule passes: the race only fires under an
+        // adversarial same-instant tie-break.
+        let report = race_target(false).run(&[]);
+        assert!(
+            report.violation.is_none(),
+            "default order must mask the race: {:?}",
+            report.violation
+        );
+        let out = explore(&mut race_target(false), budget());
+        let ce = out.counterexample.expect("explorer must expose the race");
+        assert!(ce.preemptions >= 1, "needs a non-default decision");
+    }
+
+    #[test]
+    fn register_mutants_are_caught_and_correct_ones_survive() {
+        for (mk, caught) in [
+            (responsive_register_target as fn(bool) -> RegisterTarget, true),
+            (majority_register_target, true),
+        ] {
+            let correct_out = explore(&mut mk(true), budget());
+            assert!(
+                correct_out.counterexample.is_none(),
+                "correct construction flagged: {:?}",
+                correct_out.counterexample
+            );
+            let mut mutant = mk(false);
+            let mut found = explore(&mut mutant, budget()).counterexample.is_some();
+            if !found {
+                found = fuzz(&mut mutant, 1, 300, 64).counterexample.is_some();
+            }
+            assert_eq!(found, caught, "write-back mutant must be caught");
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The system-under-check abstraction and its two implementations.
+
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+use dds_core::spec::register::{check_atomic, RegOp};
+use dds_core::time::Time;
+use dds_obs::{FlightRecorder, ObsEvent, Sink};
+use dds_registers::construction::Construction;
+use dds_registers::harness::{run_schedule_planned, CrashEvent};
+use dds_sim::world::World;
+
+use crate::schedule::{ChoiceLog, ChoicePoint, ScriptPolicy};
+
+/// Final-state property over a finished world.
+type WorldCheck<M> = Box<dyn Fn(&World<M>) -> Result<(), Violation>>;
+
+/// A property failure observed in one run.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// One-line description of what broke.
+    pub reason: String,
+    /// Supporting evidence (e.g. the rendered history).
+    pub details: String,
+}
+
+/// What one run under a fixed decision vector produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The schedule log: forced steps (`width == 1`) and genuine choice
+    /// points (`width > 1`), in execution order.
+    pub choices: Vec<ChoicePoint>,
+    /// The property verdict.
+    pub violation: Option<Violation>,
+}
+
+impl RunReport {
+    /// The decision vector that reproduces this run: one entry per
+    /// genuine choice point.
+    pub fn plan(&self) -> Vec<usize> {
+        self.choices
+            .iter()
+            .filter(|c| c.width > 1)
+            .map(|c| c.chosen)
+            .collect()
+    }
+
+    /// Number of genuine choice points.
+    pub fn decisions(&self) -> usize {
+        self.choices.iter().filter(|c| c.width > 1).count()
+    }
+}
+
+/// A minimized failing schedule, ready to be replayed or reported.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The decision vector that reproduces the failure (trailing defaults
+    /// trimmed).
+    pub plan: Vec<usize>,
+    /// Number of non-default decisions in `plan`.
+    pub preemptions: usize,
+    /// What broke.
+    pub violation: Violation,
+}
+
+impl Counterexample {
+    pub(crate) fn new(plan: &[usize], violation: Violation) -> Self {
+        let mut plan = plan.to_vec();
+        while plan.last() == Some(&0) {
+            plan.pop();
+        }
+        let preemptions = plan.iter().filter(|&&d| d != 0).count();
+        Counterexample {
+            plan,
+            preemptions,
+            violation,
+        }
+    }
+}
+
+/// A system that can be run under an explicit decision vector.
+///
+/// `plan[k]` picks among the ready alternatives at the `k`-th genuine
+/// choice point; entries are clamped and missing entries mean "default
+/// order", so every `plan` is legal and the empty plan is the unmodified
+/// system. Runs must be deterministic functions of the plan.
+pub trait Target {
+    /// Short identifier for reports.
+    fn name(&self) -> &str;
+
+    /// Runs the system once under `plan`.
+    fn run(&mut self, plan: &[usize]) -> RunReport;
+
+    /// Whether the partial-order reduction may be applied: only sound
+    /// when the target reports ready sets and its actor callbacks do not
+    /// race through the shared rng (see
+    /// [`crate::schedule::ReadyEvent::independent`]).
+    fn reduction_safe(&self) -> bool {
+        false
+    }
+
+    /// Replays `plan` and dumps the run's event history as JSONL to
+    /// `path` through a [`FlightRecorder`].
+    fn dump_counterexample(&mut self, plan: &[usize], path: &Path, reason: &str);
+}
+
+/// A [`Target`] wrapping a simulator world: build it, run it under a
+/// scripted schedule until `deadline`, then check a property over the
+/// final state.
+pub struct WorldTarget<M> {
+    name: String,
+    build: Box<dyn FnMut() -> World<M>>,
+    check: WorldCheck<M>,
+    deadline: Time,
+    reduction_safe: bool,
+}
+
+impl<M: Clone + 'static> WorldTarget<M> {
+    /// Creates a world target. `build` must return a freshly built,
+    /// deterministic world (same seed every time); `check` judges the
+    /// final state.
+    pub fn new(
+        name: impl Into<String>,
+        deadline: Time,
+        build: impl FnMut() -> World<M> + 'static,
+        check: impl Fn(&World<M>) -> Result<(), Violation> + 'static,
+    ) -> Self {
+        WorldTarget {
+            name: name.into(),
+            build: Box::new(build),
+            check: Box::new(check),
+            deadline,
+            reduction_safe: false,
+        }
+    }
+
+    /// Declares the target's callbacks rng-free, enabling the sleep-set
+    /// reduction.
+    pub fn with_reduction(mut self) -> Self {
+        self.reduction_safe = true;
+        self
+    }
+
+    /// Turns the reduction back off (to measure its effect, or to
+    /// cross-check that it prunes only commutative interleavings).
+    pub fn disable_reduction(&mut self) {
+        self.reduction_safe = false;
+    }
+
+    fn run_world(&mut self, plan: &[usize]) -> (World<M>, Vec<ChoicePoint>) {
+        let mut world = (self.build)();
+        let log: ChoiceLog = Rc::new(RefCell::new(Vec::new()));
+        world.set_schedule_policy(ScriptPolicy::new(plan.to_vec(), Rc::clone(&log)));
+        world.run_until(self.deadline);
+        let choices = log.borrow().clone();
+        (world, choices)
+    }
+}
+
+impl<M: Clone + 'static> Target for WorldTarget<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, plan: &[usize]) -> RunReport {
+        let (world, choices) = self.run_world(plan);
+        RunReport {
+            choices,
+            violation: (self.check)(&world).err(),
+        }
+    }
+
+    fn reduction_safe(&self) -> bool {
+        self.reduction_safe
+    }
+
+    fn dump_counterexample(&mut self, plan: &[usize], path: &Path, reason: &str) {
+        let mut world = (self.build)();
+        let log: ChoiceLog = Rc::new(RefCell::new(Vec::new()));
+        world.set_schedule_policy(ScriptPolicy::new(plan.to_vec(), log));
+        world.set_sink(FlightRecorder::new(4096).with_dump_path(path));
+        world.run_until(self.deadline);
+        let at = world.now();
+        if let Some(sink) = world.take_sink() {
+            if let Ok(mut recorder) = sink.into_any().downcast::<FlightRecorder>() {
+                recorder.fail(reason, at);
+            }
+        }
+    }
+}
+
+/// A [`Target`] wrapping the register interleaving harness: one
+/// construction, fixed client scripts and crash events, the schedule
+/// chosen by the plan, the history judged for atomicity.
+pub struct RegisterTarget {
+    name: String,
+    construction: Construction,
+    t: usize,
+    scripts: Vec<Vec<RegOp>>,
+    crashes: Vec<CrashEvent>,
+    seed: u64,
+}
+
+impl RegisterTarget {
+    /// Creates a register target. `seed` drives the operation machines'
+    /// internal randomness (fixed across plans, so runs are deterministic
+    /// functions of the plan).
+    pub fn new(
+        name: impl Into<String>,
+        construction: Construction,
+        t: usize,
+        scripts: Vec<Vec<RegOp>>,
+        crashes: Vec<CrashEvent>,
+        seed: u64,
+    ) -> Self {
+        RegisterTarget {
+            name: name.into(),
+            construction,
+            t,
+            scripts,
+            crashes,
+            seed,
+        }
+    }
+}
+
+impl Target for RegisterTarget {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, plan: &[usize]) -> RunReport {
+        let (out, widths) = run_schedule_planned(
+            self.construction,
+            self.t,
+            &self.scripts,
+            &self.crashes,
+            self.seed,
+            plan,
+        );
+        let choices = widths
+            .iter()
+            .enumerate()
+            .map(|(k, &width)| ChoicePoint {
+                at: Time::ZERO,
+                epoch: 0,
+                width,
+                chosen: plan.get(k).copied().unwrap_or(0).min(width - 1),
+                ready: Vec::new(), // widths only: reduction stays off
+            })
+            .collect();
+        let violation = match check_atomic(&out.history) {
+            Ok(verdict) if verdict.is_linearizable() => None,
+            Ok(_) => Some(Violation {
+                reason: "history is not linearizable".into(),
+                details: out.history.to_string(),
+            }),
+            Err(err) => Some(Violation {
+                reason: format!("history not checkable: {err:?}"),
+                details: out.history.to_string(),
+            }),
+        };
+        RunReport { choices, violation }
+    }
+
+    fn dump_counterexample(&mut self, plan: &[usize], path: &Path, reason: &str) {
+        let (out, _) = run_schedule_planned(
+            self.construction,
+            self.t,
+            &self.scripts,
+            &self.crashes,
+            self.seed,
+            plan,
+        );
+        // Render the history as spans: invocation opens, response closes.
+        let mut recorder =
+            FlightRecorder::new((2 * out.history.records().len()).max(16)).with_dump_path(path);
+        let mut last = Time::ZERO;
+        let mut spans: Vec<(Time, ObsEvent)> = Vec::new();
+        for rec in out.history.records() {
+            let name = match rec.op {
+                RegOp::Write(_) => "write",
+                RegOp::Read => "read",
+            };
+            spans.push((
+                rec.invoked,
+                ObsEvent::SpanStart {
+                    name,
+                    pid: rec.process,
+                    at: rec.invoked,
+                },
+            ));
+            if let Some(responded) = rec.responded {
+                spans.push((
+                    responded,
+                    ObsEvent::SpanEnd {
+                        name,
+                        pid: rec.process,
+                        at: responded,
+                    },
+                ));
+                last = last.max(responded);
+            }
+        }
+        spans.sort_by_key(|&(at, _)| at);
+        for (_, ev) in &spans {
+            dds_obs::Sink::record(&mut recorder, ev);
+        }
+        dds_obs::Sink::fail(&mut recorder, reason, last);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_target_reports_widths_as_choice_points() {
+        let mut target = RegisterTarget::new(
+            "responsive",
+            Construction::ResponsiveAll { write_back: true },
+            1,
+            vec![vec![RegOp::Write(1)], vec![RegOp::Read]],
+            vec![],
+            7,
+        );
+        let report = target.run(&[]);
+        assert!(report.violation.is_none());
+        assert!(report.decisions() > 0);
+        assert!(report.choices.iter().all(|c| c.ready.is_empty()));
+        assert_eq!(report.plan(), vec![0; report.decisions()]);
+        assert!(!target.reduction_safe());
+    }
+
+    #[test]
+    fn counterexample_trims_trailing_defaults() {
+        let v = Violation {
+            reason: "x".into(),
+            details: String::new(),
+        };
+        let ce = Counterexample::new(&[0, 2, 0, 1, 0, 0], v);
+        assert_eq!(ce.plan, vec![0, 2, 0, 1]);
+        assert_eq!(ce.preemptions, 2);
+    }
+}

@@ -54,6 +54,44 @@ pub struct RunOutput {
     pub steps: u64,
 }
 
+/// How the scheduler picks among actionable clients at each step.
+enum Picker<'a> {
+    /// The historical behavior: one rng draw per step, byte-identical to
+    /// the pre-planned harness (the draw happens even when only one client
+    /// is actionable, to keep the stream aligned).
+    Seeded,
+    /// An explicit decision vector: at each step where more than one
+    /// client is actionable, consume the next plan entry (clamped to the
+    /// actionable range; missing entries mean "pick the first"), and log
+    /// the choice width. Steps with one actionable client consume nothing.
+    Plan {
+        plan: &'a [usize],
+        cursor: usize,
+        widths: Vec<usize>,
+    },
+}
+
+impl Picker<'_> {
+    fn pick(&mut self, actionable: &[usize], rng: &mut Rng) -> usize {
+        match self {
+            Picker::Seeded => *rng.choose(actionable).expect("nonempty"),
+            Picker::Plan {
+                plan,
+                cursor,
+                widths,
+            } => {
+                if actionable.len() == 1 {
+                    return actionable[0];
+                }
+                let choice = plan.get(*cursor).copied().unwrap_or(0);
+                *cursor += 1;
+                widths.push(actionable.len());
+                actionable[choice.min(actionable.len() - 1)]
+            }
+        }
+    }
+}
+
 /// Runs `scripts` (one per client; client `i` is process `p<i>`)
 /// against a fresh register of the given construction and tolerance,
 /// injecting `crashes`, interleaving per `seed`.
@@ -71,6 +109,46 @@ pub fn run_schedule(
     scripts: &[Vec<RegOp>],
     crashes: &[CrashEvent],
     seed: u64,
+) -> RunOutput {
+    run_schedule_inner(construction, t, scripts, crashes, seed, &mut Picker::Seeded)
+}
+
+/// Like [`run_schedule`], but the interleaving is an explicit decision
+/// vector instead of a seeded stream: `plan[k]` indexes into the actionable
+/// client list at the `k`-th step where that list has more than one entry
+/// (out-of-range entries are clamped, missing entries pick the first —
+/// i.e. the empty plan is a legal default schedule). `seed` still drives
+/// the operation machines' internal randomness.
+///
+/// Returns the run plus the width of each consumed choice point, which is
+/// what a schedule explorer needs to enumerate sibling schedules.
+pub fn run_schedule_planned(
+    construction: Construction,
+    t: usize,
+    scripts: &[Vec<RegOp>],
+    crashes: &[CrashEvent],
+    seed: u64,
+    plan: &[usize],
+) -> (RunOutput, Vec<usize>) {
+    let mut picker = Picker::Plan {
+        plan,
+        cursor: 0,
+        widths: Vec::new(),
+    };
+    let out = run_schedule_inner(construction, t, scripts, crashes, seed, &mut picker);
+    let Picker::Plan { widths, .. } = picker else {
+        unreachable!()
+    };
+    (out, widths)
+}
+
+fn run_schedule_inner(
+    construction: Construction,
+    t: usize,
+    scripts: &[Vec<RegOp>],
+    crashes: &[CrashEvent],
+    seed: u64,
+    picker: &mut Picker<'_>,
 ) -> RunOutput {
     let writers = scripts
         .iter()
@@ -121,7 +199,7 @@ pub fn run_schedule(
         if actionable.is_empty() {
             break;
         }
-        let &i = rng.choose(&actionable).expect("nonempty");
+        let i = picker.pick(&actionable, &mut rng);
         let client = &mut clients[i];
         let now = Time::from_ticks(step);
         if client.running.is_none() {
@@ -310,6 +388,52 @@ mod tests {
             .history
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn planned_runs_replay_deterministically() {
+        let run = |plan: &[usize]| {
+            run_schedule_planned(
+                Construction::MajorityQuorum { write_back: true },
+                1,
+                &[writes(&[5, 6]), reads(2), reads(2)],
+                &[],
+                9,
+                plan,
+            )
+        };
+        let (a, wa) = run(&[]);
+        let (b, wb) = run(&[]);
+        assert_eq!(a.history, b.history, "same plan, same history");
+        assert_eq!(wa, wb);
+        assert!(
+            wa.iter().all(|&w| w >= 2),
+            "widths are only logged at real choice points"
+        );
+        // A different plan is a different interleaving of the same scripts.
+        let deviant: Vec<usize> = wa.iter().map(|&w| w - 1).collect();
+        let (c, wc) = run(&deviant);
+        assert_eq!(
+            c.history.records().len(),
+            a.history.records().len(),
+            "every op still completes"
+        );
+        assert!(!wc.is_empty());
+    }
+
+    #[test]
+    fn planned_out_of_range_choices_are_clamped() {
+        let (out, widths) = run_schedule_planned(
+            Construction::ResponsiveAll { write_back: true },
+            1,
+            &[writes(&[1]), reads(1)],
+            &[],
+            0,
+            &[usize::MAX, usize::MAX, usize::MAX],
+        );
+        assert!(out.stuck_clients.is_empty());
+        assert!(!widths.is_empty());
+        assert!(check_atomic(&out.history).unwrap().is_linearizable());
     }
 }
 

@@ -296,6 +296,70 @@ impl ChurnDriver for PathStretch {
     }
 }
 
+/// Runs two drivers side by side — e.g. replacement churn *and* a
+/// partition adversary in one run.
+///
+/// Each child keeps its own wakeup schedule: on a composite tick only the
+/// children whose requested instant has arrived are ticked (a child is
+/// never ticked early), and the composite's next wakeup is the earlier of
+/// the children's. Actions apply in `(a, b)` order within one instant.
+pub struct Compose {
+    a: Box<dyn ChurnDriver>,
+    b: Box<dyn ChurnDriver>,
+    next_a: Option<Time>,
+    next_b: Option<Time>,
+}
+
+impl Compose {
+    /// Composes `a` and `b` (same-instant actions apply `a` first).
+    pub fn new(a: impl ChurnDriver + 'static, b: impl ChurnDriver + 'static) -> Self {
+        let (a, b) = (Box::new(a), Box::new(b));
+        let (next_a, next_b) = (a.initial_wakeup(), b.initial_wakeup());
+        Compose { a, b, next_a, next_b }
+    }
+}
+
+fn earlier(a: Option<Time>, b: Option<Time>) -> Option<Time> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+impl ChurnDriver for Compose {
+    fn intent(&self) -> DriverIntent {
+        let (a, b) = (self.a.intent(), self.b.intent());
+        DriverIntent {
+            arrivals_finite: a.arrivals_finite && b.arrivals_finite,
+            concurrency_finite: a.concurrency_finite && b.concurrency_finite,
+        }
+    }
+
+    fn initial_wakeup(&self) -> Option<Time> {
+        earlier(self.next_a, self.next_b)
+    }
+
+    fn on_tick(
+        &mut self,
+        now: Time,
+        graph: &Graph,
+        rng: &mut Rng,
+    ) -> (Vec<ChurnAction>, Option<Time>) {
+        let mut actions = Vec::new();
+        if self.next_a.is_some_and(|t| t <= now) {
+            let (acts, next) = self.a.on_tick(now, graph, rng);
+            actions.extend(acts);
+            self.next_a = next;
+        }
+        if self.next_b.is_some_and(|t| t <= now) {
+            let (acts, next) = self.b.on_tick(now, graph, rng);
+            actions.extend(acts);
+            self.next_b = next;
+        }
+        (actions, earlier(self.next_a, self.next_b))
+    }
+}
+
 /// A scripted driver: an explicit list of `(time, action)` pairs, applied
 /// in order. The workhorse of deterministic tests.
 #[derive(Debug, Clone, Default)]
@@ -500,5 +564,40 @@ mod tests {
     #[should_panic(expected = "sorted")]
     fn scripted_rejects_unsorted() {
         Scripted::new(vec![(t(5), ChurnAction::Join), (t(1), ChurnAction::Join)]);
+    }
+
+    #[test]
+    fn compose_ticks_each_child_only_when_due() {
+        let a = Scripted::new(vec![(t(2), ChurnAction::Join)]);
+        let b = Scripted::new(vec![
+            (t(2), ChurnAction::LeaveRandom),
+            (t(7), ChurnAction::Join),
+        ]);
+        let mut d = Compose::new(a, b);
+        assert_eq!(d.initial_wakeup(), Some(t(2)));
+        let g = Graph::new();
+        let mut rng = Rng::seeded(6);
+        // Both due at t=2: actions merge a-then-b.
+        let (acts, next) = d.on_tick(t(2), &g, &mut rng);
+        assert_eq!(acts, vec![ChurnAction::Join, ChurnAction::LeaveRandom]);
+        assert_eq!(next, Some(t(7)));
+        // Only b is due at t=7; a (exhausted) must not be re-ticked.
+        let (acts, next) = d.on_tick(t(7), &g, &mut rng);
+        assert_eq!(acts, vec![ChurnAction::Join]);
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn compose_intent_is_conjunction() {
+        let finite = Scripted::new(vec![(t(1), ChurnAction::Join)]);
+        let unbounded = Growth {
+            growth_per_window: 0.5,
+            window: TimeDelta::ticks(4),
+            cap: usize::MAX,
+        };
+        let d = Compose::new(finite, unbounded);
+        let i = d.intent();
+        assert!(!i.arrivals_finite);
+        assert!(!i.concurrency_finite);
     }
 }

@@ -62,6 +62,91 @@ pub enum Event<M> {
     ChurnTick,
 }
 
+impl<M> Event<M> {
+    /// The payload-free summary of this event used by [`SchedulePolicy`].
+    fn ready_kind(&self) -> ReadyKind {
+        match self {
+            Event::Deliver { from, to, .. } => ReadyKind::Deliver { from: *from, to: *to },
+            Event::Timer { pid, .. } => ReadyKind::Timer { pid: *pid },
+            Event::ChurnTick => ReadyKind::ChurnTick,
+        }
+    }
+}
+
+/// Payload-free classification of a ready event, enough for a
+/// [`SchedulePolicy`] to reason about commutativity (which process the
+/// dispatch will touch) without seeing the message itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyKind {
+    /// A message delivery.
+    Deliver {
+        /// Original sender.
+        from: ProcessId,
+        /// Destination (the actor the dispatch mutates).
+        to: ProcessId,
+    },
+    /// A timer expiry at `pid`.
+    Timer {
+        /// The timer's owner (the actor the dispatch mutates).
+        pid: ProcessId,
+    },
+    /// A churn-driver wake-up (may mutate membership and topology).
+    ChurnTick,
+}
+
+impl ReadyKind {
+    /// The process the dispatch will run at, when the event is local to
+    /// one process (`None` for [`ReadyKind::ChurnTick`], which may touch
+    /// anything).
+    pub fn target(&self) -> Option<ProcessId> {
+        match self {
+            ReadyKind::Deliver { to, .. } => Some(*to),
+            ReadyKind::Timer { pid } => Some(*pid),
+            ReadyKind::ChurnTick => None,
+        }
+    }
+}
+
+/// One entry of the ready set: an event dispatchable at the earliest
+/// pending instant. `seq` is the queue's tie-breaking sequence number —
+/// stable across replays of the same prefix, which is what lets schedule
+/// explorers identify "the same event" across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadySummary {
+    /// Scheduling sequence number (the default dispatch order).
+    pub seq: u64,
+    /// What dispatching the event will do.
+    pub kind: ReadyKind,
+}
+
+/// A pluggable tie-breaker over same-instant events — the controlled
+/// nondeterminism hook of the kernel.
+///
+/// The default (no policy installed) dispatches ready events in `(time,
+/// seq)` order; a policy sees the full ready set (every event pending at
+/// the earliest instant, in seq order) and returns the index to dispatch
+/// next. Index 0 reproduces the default order, so a policy that always
+/// answers 0 changes nothing. The policy is only consulted when the ready
+/// set holds more than one event — a genuine scheduling choice.
+///
+/// `epoch` is the world's mutation epoch: it increments whenever
+/// membership or topology changes, letting explorers conservatively
+/// invalidate commutativity assumptions across such boundaries.
+pub trait SchedulePolicy {
+    /// Picks which of `ready` (length ≥ 2, seq order) to dispatch next.
+    /// Out-of-range answers are clamped to the last index.
+    fn choose(&mut self, now: Time, epoch: u64, ready: &[ReadySummary]) -> usize;
+
+    /// Called instead of [`SchedulePolicy::choose`] when exactly one event
+    /// is ready — no choice exists, but explorers that track commutativity
+    /// (sleep sets) need to see *every* dispatched event, not just the
+    /// branching ones, to wake sleeping events a forced step conflicts
+    /// with. The default does nothing.
+    fn observe(&mut self, now: Time, epoch: u64, only: &ReadySummary) {
+        let _ = (now, epoch, only);
+    }
+}
+
 /// An event with its dispatch instant and tie-breaking sequence number.
 #[derive(Debug, Clone)]
 struct Scheduled<M> {
@@ -174,10 +259,15 @@ impl<M> Calendar<M> {
             .find(|&t| !self.buckets[Self::bucket_index(t)].is_empty())
     }
 
-    fn pop(&mut self) -> Option<(Time, Event<M>)> {
+    /// Advances the window so the earliest pending events sit in their
+    /// bucket, returning their tick. `None` when the queue is empty.
+    fn settle_front(&mut self) -> Option<u64> {
         if self.ring_len == 0 {
+            if self.overflow.is_empty() {
+                return None;
+            }
             // Ring empty: jump straight to the earliest overflow tick.
-            let tick = self.overflow.peek()?.at.as_ticks();
+            let tick = self.overflow.peek().expect("nonempty").at.as_ticks();
             self.advance_to(tick);
         }
         let tick = self
@@ -186,11 +276,37 @@ impl<M> Calendar<M> {
         if tick > self.cursor {
             self.advance_to(tick);
         }
+        Some(tick)
+    }
+
+    fn pop(&mut self) -> Option<(Time, Event<M>)> {
+        let tick = self.settle_front()?;
         let (_, event) = self.buckets[Self::bucket_index(tick)]
             .pop_front()
-            .expect("next_tick found this bucket occupied");
+            .expect("settle_front found this bucket occupied");
         self.ring_len -= 1;
         Some((Time::from_ticks(tick), event))
+    }
+
+    /// Removes the `n`-th event (seq order) of the earliest instant.
+    fn pop_nth(&mut self, n: usize) -> Option<(Time, Event<M>)> {
+        let tick = self.settle_front()?;
+        let (_, event) = self.buckets[Self::bucket_index(tick)].remove(n)?;
+        self.ring_len -= 1;
+        Some((Time::from_ticks(tick), event))
+    }
+
+    /// Fills `out` with summaries of every event at the earliest instant,
+    /// in seq order (bucket FIFO order equals seq order by invariant).
+    fn ready_set(&mut self, out: &mut Vec<ReadySummary>) -> Option<Time> {
+        out.clear();
+        let tick = self.settle_front()?;
+        out.extend(
+            self.buckets[Self::bucket_index(tick)]
+                .iter()
+                .map(|(seq, event)| ReadySummary { seq: *seq, kind: event.ready_kind() }),
+        );
+        Some(Time::from_ticks(tick))
     }
 
     fn len(&self) -> usize {
@@ -312,6 +428,57 @@ impl<M> EventQueue<M> {
         match &mut self.tier {
             Tier::Calendar(c) => c.pop(),
             Tier::Heap(h) => h.pop().map(|s| (s.at, s.event)),
+        }
+    }
+
+    /// Removes and returns the `n`-th event (seq order) among those
+    /// pending at the earliest instant — the controlled-nondeterminism
+    /// variant of [`EventQueue::pop`]. `pop_nth(0)` is exactly `pop`;
+    /// `None` if the queue is empty or `n` is out of the ready set.
+    pub fn pop_nth(&mut self, n: usize) -> Option<(Time, Event<M>)> {
+        match &mut self.tier {
+            Tier::Calendar(c) => c.pop_nth(n),
+            Tier::Heap(h) => {
+                let at = h.peek()?.at;
+                // Pop the whole earliest-instant cohort (comes out in seq
+                // order), keep the n-th, push the rest back.
+                let mut cohort: Vec<Scheduled<M>> = Vec::new();
+                while h.peek().is_some_and(|s| s.at == at) {
+                    cohort.push(h.pop().expect("peeked"));
+                }
+                if n >= cohort.len() {
+                    h.extend(cohort);
+                    return None;
+                }
+                let picked = cohort.swap_remove(n);
+                h.extend(cohort);
+                Some((picked.at, picked.event))
+            }
+        }
+    }
+
+    /// Fills `out` with a summary of every event pending at the earliest
+    /// instant, in seq order (the order [`EventQueue::pop`] would drain
+    /// them), returning that instant. Clears `out` and returns `None` on
+    /// an empty queue. Both tiers produce identical ready sets.
+    pub fn ready_set(&mut self, out: &mut Vec<ReadySummary>) -> Option<Time> {
+        match &mut self.tier {
+            Tier::Calendar(c) => c.ready_set(out),
+            Tier::Heap(h) => {
+                out.clear();
+                let at = h.peek()?.at;
+                let mut cohort: Vec<Scheduled<M>> = Vec::new();
+                while h.peek().is_some_and(|s| s.at == at) {
+                    cohort.push(h.pop().expect("peeked"));
+                }
+                out.extend(
+                    cohort
+                        .iter()
+                        .map(|s| ReadySummary { seq: s.seq, kind: s.event.ready_kind() }),
+                );
+                h.extend(cohort);
+                Some(at)
+            }
         }
     }
 
@@ -486,5 +653,90 @@ mod tests {
     fn kind_labels() {
         assert_eq!(EventQueue::<u8>::calendar().kind().label(), "calendar");
         assert_eq!(EventQueue::<u8>::heap().kind().label(), "heap");
+    }
+
+    fn deliver(to: u64, msg: u32) -> Event<u32> {
+        Event::Deliver {
+            from: ProcessId::from_raw(0),
+            to: ProcessId::from_raw(to),
+            sent: t(3),
+            msg,
+        }
+    }
+
+    #[test]
+    fn ready_set_lists_the_earliest_cohort_in_seq_order() {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let mut q: EventQueue<u32> = match kind {
+                QueueKind::Calendar => EventQueue::calendar(),
+                QueueKind::Heap => EventQueue::heap(),
+            };
+            let mut ready = Vec::new();
+            assert_eq!(q.ready_set(&mut ready), None);
+            q.schedule(t(5), Event::ChurnTick);
+            q.schedule(t(3), deliver(7, 0));
+            q.schedule(t(3), Event::Timer { pid: ProcessId::from_raw(2), timer: TimerId(9) });
+            assert_eq!(q.ready_set(&mut ready), Some(t(3)), "{kind:?}");
+            assert_eq!(
+                ready,
+                vec![
+                    ReadySummary {
+                        seq: 1,
+                        kind: ReadyKind::Deliver {
+                            from: ProcessId::from_raw(0),
+                            to: ProcessId::from_raw(7),
+                        },
+                    },
+                    ReadySummary { seq: 2, kind: ReadyKind::Timer { pid: ProcessId::from_raw(2) } },
+                ],
+                "{kind:?}"
+            );
+            // Inspection does not disturb the queue.
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop().unwrap().0, t(3));
+        }
+    }
+
+    #[test]
+    fn pop_nth_reorders_only_within_the_instant() {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let mut q: EventQueue<u32> = match kind {
+                QueueKind::Calendar => EventQueue::calendar(),
+                QueueKind::Heap => EventQueue::heap(),
+            };
+            for i in 0..3u32 {
+                q.schedule(t(3), deliver(i as u64, i));
+            }
+            q.schedule(t(8), deliver(9, 9));
+            // Out of range: the ready set has 3 entries.
+            assert!(q.pop_nth(3).is_none(), "{kind:?}");
+            assert_eq!(q.len(), 4, "{kind:?}: failed pop_nth must not lose events");
+            let msg = |e| match e {
+                Event::Deliver { msg, .. } => msg,
+                _ => unreachable!(),
+            };
+            let (at, e) = q.pop_nth(1).unwrap();
+            assert_eq!((at, msg(e)), (t(3), 1), "{kind:?}");
+            let (_, e) = q.pop_nth(1).unwrap();
+            assert_eq!(msg(e), 2, "{kind:?}");
+            let (_, e) = q.pop_nth(0).unwrap();
+            assert_eq!(msg(e), 0, "{kind:?}");
+            let (at, e) = q.pop().unwrap();
+            assert_eq!((at, msg(e)), (t(8), 9), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ready_kind_targets() {
+        assert_eq!(
+            ReadyKind::Deliver { from: ProcessId::from_raw(1), to: ProcessId::from_raw(2) }
+                .target(),
+            Some(ProcessId::from_raw(2))
+        );
+        assert_eq!(
+            ReadyKind::Timer { pid: ProcessId::from_raw(4) }.target(),
+            Some(ProcessId::from_raw(4))
+        );
+        assert_eq!(ReadyKind::ChurnTick.target(), None);
     }
 }

@@ -9,13 +9,23 @@
 //! halves of the *initial* membership (by identity), and — when
 //! configured — heals the cut at `heal_at` by restoring the severed edges.
 //!
+//! While the partition is active the driver **patrols**: it wakes every
+//! tick and severs any crossing edge that has appeared since — a process
+//! that joins mid-partition (under a composed churn driver, see
+//! [`crate::driver::Compose`]) attaches by topology policy, which knows
+//! nothing of the cut and would otherwise bridge the halves. Patrol edges
+//! are added to the severed list, so healing restores them too. A
+//! permanent partition therefore keeps one wake-up pending forever: drive
+//! such worlds with [`crate::world::World::run_until`], not
+//! `run_to_quiescence`.
+//!
 //! [`Connectivity`]: dds_core::knowledge::Connectivity
 //! [`Connectivity::EventuallyConnected`]: dds_core::knowledge::Connectivity::EventuallyConnected
 //! [`Connectivity::Arbitrary`]: dds_core::knowledge::Connectivity::Arbitrary
 
 use dds_core::process::ProcessId;
 use dds_core::rng::Rng;
-use dds_core::time::Time;
+use dds_core::time::{Time, TimeDelta};
 use dds_net::graph::Graph;
 
 use crate::driver::{ChurnAction, ChurnDriver, DriverIntent};
@@ -37,7 +47,8 @@ pub struct PartitionDriver {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     BeforeCut,
-    BeforeHeal,
+    /// Cut applied; patrolling every tick until healed (or forever).
+    Active,
     Done,
 }
 
@@ -94,10 +105,11 @@ impl ChurnDriver for PartitionDriver {
 
     fn on_tick(
         &mut self,
-        _now: Time,
+        now: Time,
         graph: &Graph,
         _rng: &mut Rng,
     ) -> (Vec<ChurnAction>, Option<Time>) {
+        let patrol = Some(now + TimeDelta::TICK);
         match self.phase {
             Phase::BeforeCut => {
                 self.severed = self.crossing_edges(graph);
@@ -106,25 +118,29 @@ impl ChurnDriver for PartitionDriver {
                     .iter()
                     .map(|&(a, b)| ChurnAction::CutEdge(a, b))
                     .collect();
-                match self.heal_at {
-                    Some(heal) => {
-                        self.phase = Phase::BeforeHeal;
-                        (actions, Some(heal))
-                    }
-                    None => {
-                        self.phase = Phase::Done;
-                        (actions, None)
-                    }
-                }
+                self.phase = Phase::Active;
+                (actions, patrol)
             }
-            Phase::BeforeHeal => {
-                let actions = self
-                    .severed
-                    .drain(..)
-                    .map(|(a, b)| ChurnAction::RestoreEdge(a, b))
+            Phase::Active => {
+                if self.heal_at.is_some_and(|heal| now >= heal) {
+                    let actions = self
+                        .severed
+                        .drain(..)
+                        .map(|(a, b)| ChurnAction::RestoreEdge(a, b))
+                        .collect();
+                    self.phase = Phase::Done;
+                    return (actions, None);
+                }
+                // Patrol: a joiner (or a splice) wired across the cut by a
+                // composed driver's churn must not bridge the partition —
+                // sever any crossing edge that appeared since the cut.
+                let fresh = self.crossing_edges(graph);
+                let actions = fresh
+                    .iter()
+                    .map(|&(a, b)| ChurnAction::CutEdge(a, b))
                     .collect();
-                self.phase = Phase::Done;
-                (actions, None)
+                self.severed.extend(fresh);
+                (actions, patrol)
             }
             Phase::Done => (Vec::new(), None),
         }
@@ -183,6 +199,40 @@ mod tests {
         world.run_until(t(25));
         assert!(is_connected(world.graph()), "healed at t=20");
         assert!(world.graph().edge_count() > edges_cut);
+    }
+
+    #[test]
+    fn joiner_during_partition_cannot_bridge_the_cut() {
+        use crate::driver::{ChurnAction, Compose, Scripted};
+
+        // Regression: the cut used to be computed from initial membership
+        // only, so a process joining after `cut_at` (wired by the attach
+        // policy, which knows nothing of the partition) could reconnect the
+        // halves. The patrol must sever such edges by the next tick.
+        let mut world = WorldBuilder::new(4)
+            .initial_graph(generate::ring(6))
+            .driver(Compose::new(
+                PartitionDriver::transient(t(5), t(30), pid(3)),
+                Scripted::new(vec![(t(10), ChurnAction::Join)]),
+            ))
+            .spawn(|_| Box::new(Idle))
+            .build();
+        world.run_until(t(8));
+        assert!(!is_connected(world.graph()));
+        world.run_until(t(15));
+        assert_eq!(world.graph().node_count(), 7, "joiner admitted");
+        for (a, b) in world.graph().edges() {
+            assert_eq!(
+                a < pid(3),
+                b < pid(3),
+                "edge {a}-{b} bridges the partition"
+            );
+        }
+        world.run_until(t(35));
+        assert!(
+            is_connected(world.graph()),
+            "heal restores severed edges, including the joiner's"
+        );
     }
 
     #[test]

@@ -145,6 +145,13 @@ impl<T> SlotTable<T> {
         self.slots.clear();
         self.present = 0;
     }
+
+    /// Capacity of the backing slot storage, in slots. Kept across
+    /// [`Self::clear`] — the reuse that [`crate::world::World::reset`]
+    /// relies on.
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
 }
 
 /// A dense `ProcessId → V` map for plain values (no lifecycle): entries
@@ -188,6 +195,12 @@ impl<V> DenseMap<V> {
     /// Empties the map, keeping the storage for the next run.
     pub fn clear(&mut self) {
         self.vals.clear();
+    }
+
+    /// Capacity of the backing storage, in entries. Kept across
+    /// [`Self::clear`].
+    pub fn capacity(&self) -> usize {
+        self.vals.capacity()
     }
 }
 
@@ -258,6 +271,17 @@ impl DenseSet {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
+    }
+
+    /// Empties the set, keeping the word storage.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Capacity of the backing storage, in 64-bit words. Kept across
+    /// [`Self::clear`].
+    pub fn capacity(&self) -> usize {
+        self.words.capacity()
     }
 
     /// Iterates the members in ascending id order.

@@ -26,7 +26,7 @@ use dds_obs::{ObsEvent, Sink};
 use crate::actor::{Actor, Context, Effect};
 use crate::delay::{DelayModel, LossModel};
 use crate::driver::{ChurnAction, ChurnDriver, NoChurn};
-use crate::event::{Event, EventQueue, TimerId};
+use crate::event::{Event, EventQueue, ReadySummary, SchedulePolicy, TimerId};
 use crate::metrics::Metrics;
 use crate::slots::{DenseMap, SlotTable};
 
@@ -84,6 +84,7 @@ pub struct WorldBuilder<M> {
     spawn: Option<SpawnFn<M>>,
     value: ValueFn,
     sink: Option<Box<dyn Sink>>,
+    schedule_policy: Option<Box<dyn SchedulePolicy>>,
 }
 
 impl<M> fmt::Debug for WorldBuilder<M> {
@@ -111,6 +112,7 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             spawn: None,
             value: Box::new(|_, rng| rng.unit_f64() * 100.0),
             sink: None,
+            schedule_policy: None,
         }
     }
 
@@ -174,6 +176,15 @@ impl<M: Clone + 'static> WorldBuilder<M> {
         self
     }
 
+    /// Installs a [`SchedulePolicy`] controlling the order of same-instant
+    /// events. With no policy installed (the default) the kernel pops in
+    /// `(time, seq)` order on the allocation-free fast path; the policy
+    /// hook costs one branch per step, exactly like the sink hook.
+    pub fn schedule_policy(mut self, policy: impl SchedulePolicy + 'static) -> Self {
+        self.schedule_policy = Some(Box::new(policy));
+        self
+    }
+
     /// Builds the world and runs the initial `on_start` callbacks at
     /// `t = 0`.
     ///
@@ -203,6 +214,9 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             callbacks: VecDeque::new(),
             effect_buf: Vec::new(),
             sink: self.sink,
+            schedule_policy: self.schedule_policy,
+            ready_buf: Vec::new(),
+            epoch: 0,
         };
         world.seat_initial(&self.initial_graph);
         world
@@ -296,6 +310,14 @@ pub struct World<M> {
     /// Optional observability sink; `None` (the default) keeps the
     /// dispatch loop on its allocation-free fast path.
     sink: Option<Box<dyn Sink>>,
+    /// Optional same-instant ordering policy; `None` (the default) pops
+    /// in `(time, seq)` order with no ready-set materialization.
+    schedule_policy: Option<Box<dyn SchedulePolicy>>,
+    /// Reusable ready-set buffer for the policy path.
+    ready_buf: Vec<ReadySummary>,
+    /// Mutation epoch: bumped on every membership or topology change, so
+    /// schedule explorers can invalidate commutativity assumptions.
+    epoch: u64,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -371,6 +393,10 @@ impl<M: Clone + 'static> World<M> {
         self.next_timer = 0;
         self.callbacks.clear();
         self.sink = spec.sink;
+        // Schedule policies are run-scoped, like sinks: a reset world goes
+        // back to default order until a policy is installed again.
+        self.schedule_policy = None;
+        self.epoch = 0;
         self.seat_initial(initial_graph);
     }
 
@@ -412,6 +438,23 @@ impl<M: Clone + 'static> World<M> {
     /// recover the accumulated [`dds_obs::RunReport`] / flight recorder.
     pub fn take_sink(&mut self) -> Option<Box<dyn Sink>> {
         self.sink.take()
+    }
+
+    /// Installs (or replaces) the schedule policy mid-run.
+    pub fn set_schedule_policy(&mut self, policy: impl SchedulePolicy + 'static) {
+        self.schedule_policy = Some(Box::new(policy));
+    }
+
+    /// Removes and returns the installed schedule policy, restoring the
+    /// default `(time, seq)` dispatch order.
+    pub fn take_schedule_policy(&mut self) -> Option<Box<dyn SchedulePolicy>> {
+        self.schedule_policy.take()
+    }
+
+    /// The current mutation epoch: increments on every join, departure and
+    /// edge change (see [`SchedulePolicy`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     #[inline]
@@ -465,8 +508,32 @@ impl<M: Clone + 'static> World<M> {
     }
 
     /// Dispatches the next event. Returns `false` when the queue is empty.
+    ///
+    /// With no [`SchedulePolicy`] installed this pops in `(time, seq)`
+    /// order on the allocation-free fast path; with a policy, the ready
+    /// set (every event at the earliest instant) is materialized into a
+    /// reused buffer and the policy picks which entry dispatches.
     pub fn step(&mut self) -> bool {
-        let Some((at, event)) = self.queue.pop() else {
+        let next = match &mut self.schedule_policy {
+            None => self.queue.pop(),
+            Some(policy) => {
+                let mut ready = std::mem::take(&mut self.ready_buf);
+                let popped = match self.queue.ready_set(&mut ready) {
+                    Some(at) if ready.len() > 1 => {
+                        let idx = policy.choose(at, self.epoch, &ready).min(ready.len() - 1);
+                        self.queue.pop_nth(idx)
+                    }
+                    Some(at) if ready.len() == 1 => {
+                        policy.observe(at, self.epoch, &ready[0]);
+                        self.queue.pop()
+                    }
+                    _ => self.queue.pop(),
+                };
+                self.ready_buf = ready;
+                popped
+            }
+        };
+        let Some((at, event)) = next else {
             return false;
         };
         debug_assert!(at >= self.now, "event queue went backwards");
@@ -564,6 +631,7 @@ impl<M: Clone + 'static> World<M> {
             }
             ChurnAction::CutEdge(a, b) => {
                 if self.graph.has_edge(a, b) {
+                    self.epoch += 1;
                     self.graph.remove_edge(a, b);
                     self.callbacks.push_back(Callback::NeighborDown { pid: a, peer: b });
                     self.callbacks.push_back(Callback::NeighborDown { pid: b, peer: a });
@@ -575,6 +643,7 @@ impl<M: Clone + 'static> World<M> {
                     && self.graph.contains(b)
                     && !self.graph.has_edge(a, b)
                 {
+                    self.epoch += 1;
                     self.graph.add_edge(a, b);
                     self.callbacks.push_back(Callback::NeighborUp { pid: a, peer: b });
                     self.callbacks.push_back(Callback::NeighborUp { pid: b, peer: a });
@@ -584,6 +653,7 @@ impl<M: Clone + 'static> World<M> {
     }
 
     fn admit(&mut self, pid: ProcessId, wiring: AdmitWiring) {
+        self.epoch += 1;
         let value = (self.value_fn)(pid, &mut self.rng);
         self.values.insert(pid, value);
         let wired_to: Vec<ProcessId> = match wiring {
@@ -622,6 +692,7 @@ impl<M: Clone + 'static> World<M> {
         if !self.graph.contains(pid) {
             return;
         }
+        self.epoch += 1;
         // Record which neighbor pairs were already connected so bridge
         // repairs can be announced as NeighborUp.
         let nbrs: Vec<ProcessId> = self
@@ -965,5 +1036,89 @@ mod tests {
         let mut w = echo_world(9);
         w.run_until(Time::from_ticks(10));
         w.inject(Time::from_ticks(5), ProcessId::from_raw(0), 0);
+    }
+
+    /// Records the order message payloads arrive in.
+    struct OrderLog {
+        seen: Vec<u32>,
+    }
+
+    impl Actor<u32> for OrderLog {
+        fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, msg: u32) {
+            self.seen.push(msg);
+        }
+    }
+
+    struct Reverse;
+    impl crate::event::SchedulePolicy for Reverse {
+        fn choose(
+            &mut self,
+            _: Time,
+            _: u64,
+            ready: &[crate::event::ReadySummary],
+        ) -> usize {
+            ready.len() - 1
+        }
+    }
+
+    struct AlwaysFirst;
+    impl crate::event::SchedulePolicy for AlwaysFirst {
+        fn choose(&mut self, _: Time, _: u64, _: &[crate::event::ReadySummary]) -> usize {
+            0
+        }
+    }
+
+    fn order_run(policy: Option<Box<dyn crate::event::SchedulePolicy>>) -> Vec<u32> {
+        let mut w: World<u32> = WorldBuilder::new(1)
+            .initial_graph(generate::ring(3))
+            .spawn(|_| Box::new(OrderLog { seen: Vec::new() }))
+            .build();
+        if let Some(p) = policy {
+            w.schedule_policy = Some(p);
+        }
+        let p0 = ProcessId::from_raw(0);
+        for msg in [10, 20, 30] {
+            w.inject(Time::from_ticks(2), p0, msg);
+        }
+        w.run_to_quiescence();
+        w.actor::<OrderLog>(p0).unwrap().seen.clone()
+    }
+
+    #[test]
+    fn policy_reorders_same_instant_events_only() {
+        assert_eq!(order_run(None), vec![10, 20, 30]);
+        assert_eq!(
+            order_run(Some(Box::new(AlwaysFirst))),
+            vec![10, 20, 30],
+            "index-0 policy must reproduce the default order"
+        );
+        assert_eq!(order_run(Some(Box::new(Reverse))), vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn epoch_counts_membership_and_topology_mutations() {
+        let mut w: World<u32> = WorldBuilder::new(11)
+            .initial_graph(generate::ring(4))
+            .driver(Scripted::new(vec![
+                (Time::from_ticks(2), ChurnAction::Join),
+                (
+                    Time::from_ticks(4),
+                    ChurnAction::CutEdge(ProcessId::from_raw(0), ProcessId::from_raw(1)),
+                ),
+                (
+                    Time::from_ticks(6),
+                    ChurnAction::RestoreEdge(ProcessId::from_raw(0), ProcessId::from_raw(1)),
+                ),
+                (Time::from_ticks(8), ChurnAction::Leave(ProcessId::from_raw(2))),
+            ]))
+            .spawn(|_| Box::new(Echo { received: 0 }))
+            .build();
+        assert_eq!(w.epoch(), 0, "initial seating is epoch 0");
+        w.run_until(Time::from_ticks(3));
+        assert_eq!(w.epoch(), 1, "join bumps");
+        w.run_until(Time::from_ticks(5));
+        assert_eq!(w.epoch(), 2, "cut bumps");
+        w.run_until(Time::from_ticks(9));
+        assert_eq!(w.epoch(), 4, "restore and leave bump");
     }
 }

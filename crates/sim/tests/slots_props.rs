@@ -1,0 +1,208 @@
+//! Property tests for the dense kernel tables (`dds_sim::slots`) against
+//! naive `BTreeMap`/`BTreeSet` models.
+//!
+//! The driver only generates kernel-legal sequences: identities come from
+//! a monotone counter (never reused — the paper's infinite-arrival model),
+//! departures and checkouts only target present identities. Under those
+//! sequences the dense tables must be observationally equal to the model,
+//! a departed identity must never look present again, and `clear` must
+//! keep the backing capacity (what `World::reset` relies on).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dds_core::process::ProcessId;
+use dds_sim::slots::{DenseMap, DenseSet, SlotTable};
+use proptest::prelude::*;
+
+fn pid(n: u64) -> ProcessId {
+    ProcessId::from_raw(n)
+}
+
+/// One scripted step against a `SlotTable`: the discriminant picks the
+/// operation, `pick` selects among the currently present identities.
+#[derive(Clone, Copy, Debug)]
+enum TableOp {
+    /// Seat a fresh identity from the monotone counter.
+    InsertFresh,
+    /// Depart the `pick`-th present identity (no-op when empty).
+    Depart(usize),
+    /// Check out the `pick`-th present identity and seat it back with a
+    /// bumped value — the kernel's dispatch pattern.
+    TakeReinsert(usize),
+}
+
+fn table_op() -> impl Strategy<Value = TableOp> {
+    prop_oneof![
+        Just(TableOp::InsertFresh),
+        (0usize..8).prop_map(TableOp::Depart),
+        (0usize..8).prop_map(TableOp::TakeReinsert),
+    ]
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ModelState {
+    Present(u32),
+    Departed(u32),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random legal lifecycles: the table agrees with a `BTreeMap` model on
+    /// every identity ever allocated, and departed identities stay dead.
+    #[test]
+    fn slot_table_matches_model(ops in proptest::collection::vec(table_op(), 0..40)) {
+        let mut table: SlotTable<u32> = SlotTable::new();
+        let mut model: BTreeMap<u64, ModelState> = BTreeMap::new();
+        let mut next_id = 0u64;
+        let mut ever_departed: BTreeSet<u64> = BTreeSet::new();
+
+        for op in ops {
+            let present: Vec<u64> = model
+                .iter()
+                .filter_map(|(&id, s)| matches!(s, ModelState::Present(_)).then_some(id))
+                .collect();
+            match op {
+                TableOp::InsertFresh => {
+                    let id = next_id;
+                    next_id += 1;
+                    prop_assert!(
+                        !ever_departed.contains(&id),
+                        "monotone counter re-issued a departed identity"
+                    );
+                    table.insert(pid(id), id as u32);
+                    model.insert(id, ModelState::Present(id as u32));
+                }
+                TableOp::Depart(pick) if !present.is_empty() => {
+                    let id = present[pick % present.len()];
+                    prop_assert!(table.depart(pid(id)));
+                    let ModelState::Present(v) = model[&id] else { unreachable!() };
+                    model.insert(id, ModelState::Departed(v));
+                    ever_departed.insert(id);
+                }
+                TableOp::TakeReinsert(pick) if !present.is_empty() => {
+                    let id = present[pick % present.len()];
+                    let v = table.take(pid(id));
+                    prop_assert_eq!(v, Some(match model[&id] {
+                        ModelState::Present(v) => v,
+                        ModelState::Departed(_) => unreachable!(),
+                    }));
+                    // Mid-checkout the slot reads vacant, like mid-dispatch.
+                    prop_assert!(!table.contains(pid(id)));
+                    let bumped = v.unwrap().wrapping_add(1);
+                    table.insert(pid(id), bumped);
+                    model.insert(id, ModelState::Present(bumped));
+                }
+                TableOp::Depart(_) | TableOp::TakeReinsert(_) => {}
+            }
+
+            // Observational equality over the whole identity space so far.
+            let model_present = model
+                .values()
+                .filter(|s| matches!(s, ModelState::Present(_)))
+                .count();
+            prop_assert_eq!(table.len(), model_present);
+            prop_assert_eq!(table.is_empty(), model_present == 0);
+            for id in 0..next_id {
+                match model.get(&id) {
+                    Some(ModelState::Present(v)) => {
+                        prop_assert!(table.contains(pid(id)));
+                        prop_assert_eq!(table.get(pid(id)), Some(v));
+                        prop_assert_eq!(table.get_any(pid(id)), Some(v));
+                    }
+                    Some(ModelState::Departed(v)) => {
+                        prop_assert!(!table.contains(pid(id)), "departed identity resurrected");
+                        prop_assert_eq!(table.get(pid(id)), None);
+                        prop_assert_eq!(table.get_any(pid(id)), Some(v));
+                    }
+                    None => {
+                        prop_assert!(!table.contains(pid(id)));
+                        prop_assert_eq!(table.get_any(pid(id)), None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `DenseMap` insert/get/iter agree with a `BTreeMap` model; iteration
+    /// yields identity order.
+    #[test]
+    fn dense_map_matches_model(
+        entries in proptest::collection::vec((0u64..48, 0u64..1000), 0..40),
+    ) {
+        let mut map: DenseMap<u64> = DenseMap::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (id, v) in entries {
+            map.insert(pid(id), v);
+            model.insert(id, v);
+            let got: Vec<(u64, u64)> = map.iter().map(|(p, &v)| (p.as_raw(), v)).collect();
+            let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(got, want);
+        }
+        for id in 0..48 {
+            prop_assert_eq!(map.get(pid(id)), model.get(&id));
+        }
+    }
+
+    /// `DenseSet` membership, cardinality, iteration order, subset and
+    /// union agree with a `BTreeSet` model (ids span word boundaries).
+    #[test]
+    fn dense_set_matches_model(
+        xs in proptest::collection::vec(0u64..200, 0..40),
+        ys in proptest::collection::vec(0u64..200, 0..40),
+    ) {
+        let mut a = DenseSet::new();
+        let mut ma: BTreeSet<u64> = BTreeSet::new();
+        for id in &xs {
+            prop_assert_eq!(a.insert(pid(*id)), ma.insert(*id));
+        }
+        let mut b = DenseSet::new();
+        let mut mb: BTreeSet<u64> = BTreeSet::new();
+        for id in &ys {
+            b.insert(pid(*id));
+            mb.insert(*id);
+        }
+
+        prop_assert_eq!(a.len(), ma.len());
+        prop_assert_eq!(a.is_empty(), ma.is_empty());
+        let got: Vec<u64> = a.iter().map(|p| p.as_raw()).collect();
+        let want: Vec<u64> = ma.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        for id in 0..200 {
+            prop_assert_eq!(a.contains(pid(id)), ma.contains(&id));
+        }
+        prop_assert_eq!(a.is_subset(&b), ma.is_subset(&mb));
+        prop_assert_eq!(b.is_subset(&a), mb.is_subset(&ma));
+
+        a.union_with(&b);
+        let merged: BTreeSet<u64> = ma.union(&mb).copied().collect();
+        let got: Vec<u64> = a.iter().map(|p| p.as_raw()).collect();
+        let want: Vec<u64> = merged.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(b.is_subset(&a));
+    }
+
+    /// `clear` empties every table but keeps the backing capacity.
+    #[test]
+    fn clear_keeps_capacity(n in 1u64..64) {
+        let mut table: SlotTable<u64> = SlotTable::new();
+        let mut map: DenseMap<u64> = DenseMap::new();
+        let mut set = DenseSet::new();
+        for id in 0..n {
+            table.insert(pid(id), id);
+            map.insert(pid(id), id);
+            set.insert(pid(id * 3)); // spread across words
+        }
+        let (ct, cm, cs) = (table.capacity(), map.capacity(), set.capacity());
+        prop_assert!(ct >= n as usize && cm >= n as usize && cs >= 1);
+
+        table.clear();
+        map.clear();
+        set.clear();
+        prop_assert!(table.is_empty() && set.is_empty());
+        prop_assert_eq!(map.iter().count(), 0);
+        prop_assert_eq!(table.capacity(), ct);
+        prop_assert_eq!(map.capacity(), cm);
+        prop_assert_eq!(set.capacity(), cs);
+    }
+}
