@@ -1,0 +1,59 @@
+//! `store_ops` — end-to-end cost of the `dds-store` service under three
+//! workload mixes on a 12-node complete graph:
+//!
+//! - `read_heavy`: 90% reads, quiet membership — the steady-state path
+//!   (phase-1 query + conditional write-back).
+//! - `write_heavy`: 90% writes, quiet membership — every op pays both
+//!   ABD phases.
+//! - `reconfig_heavy`: balanced mix under churn high enough that the
+//!   reconfiguration engine fires repeatedly (epoch fencing, probe
+//!   suspicion, state migration all on the measured path).
+//!
+//! Each iteration builds and runs a full deterministic world across a
+//! handful of seeds, so the numbers track simulator + protocol cost,
+//! not isolated data-structure cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_core::churn::ChurnSpec;
+use dds_core::time::{Time, TimeDelta};
+use dds_net::generate;
+use dds_store::StoreScenario;
+use std::hint::black_box;
+
+const SEEDS: u64 = 4;
+
+fn scenario(write_ratio: f64, churn_rate: f64) -> StoreScenario {
+    let mut s = StoreScenario::new(generate::complete(12), 0);
+    s.deadline = Time::from_ticks(600);
+    s.ops_per_client = 8;
+    s.write_ratio = write_ratio;
+    if churn_rate > 0.0 {
+        s.churn = ChurnSpec::rate(churn_rate, TimeDelta::ticks(40)).expect("valid churn spec");
+    }
+    s
+}
+
+fn bench_store_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_ops");
+    let mixes = [
+        ("read_heavy", 0.1, 0.0),
+        ("write_heavy", 0.9, 0.0),
+        ("reconfig_heavy", 0.5, 0.1),
+    ];
+    for (name, write_ratio, churn_rate) in mixes {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let base = scenario(write_ratio, churn_rate);
+            b.iter(|| {
+                for seed in 0..SEEDS {
+                    let mut s = base.clone();
+                    s.seed = seed;
+                    black_box(s.run());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_ops);
+criterion_main!(benches);

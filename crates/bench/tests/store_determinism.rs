@@ -1,0 +1,35 @@
+//! The storage soak must be bit-identical at any thread count.
+//!
+//! `run_store` fans (churn rate × seed) cells across the sweep pool and
+//! folds them in input order; its JSON summary carries no wall-clock
+//! fields. CI diffs a `DDS_THREADS=1` run against a `DDS_THREADS=8` run
+//! byte for byte — this test pins the same invariant in-process at the
+//! experiment level, on the S1 table and its merged histograms.
+
+use dds_bench::s1_store;
+
+/// One test covers both thread counts because `DDS_THREADS` is
+/// process-global state: separate `#[test]`s would race with the test
+/// harness's own parallelism.
+#[test]
+fn store_sweep_is_identical_across_thread_counts() {
+    std::env::set_var("DDS_THREADS", "1");
+    let seq = s1_store();
+    std::env::set_var("DDS_THREADS", "8");
+    let par = s1_store();
+    std::env::remove_var("DDS_THREADS");
+    assert_eq!(
+        seq.table, par.table,
+        "S1 table changed with thread count"
+    );
+    assert_eq!(
+        seq.latency, par.latency,
+        "S1 latency histogram changed with thread count"
+    );
+    assert_eq!(format!("{:?}", seq.rows), format!("{:?}", par.rows));
+    assert_eq!(
+        format!("{:?}", seq.extra_metrics),
+        format!("{:?}", par.extra_metrics),
+        "S1 per-run metrics changed with thread count"
+    );
+}

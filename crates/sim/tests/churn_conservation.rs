@@ -1,0 +1,103 @@
+//! Property pins for churn accounting: `ChurnSpec::expected_replacements`
+//! and the balanced driver's conservation law.
+//!
+//! The storage layer's timed-quorum sizing (`dds-store`) leans on two
+//! facts proved here by property test rather than by inspection:
+//!
+//! - `expected_replacements` is exactly `floor(rate · membership)`,
+//!   monotone in both arguments and never above the membership — the
+//!   quantity the quorum-size recommendation takes a square root of;
+//! - under `BalancedChurn` the kernel's books balance: every departure is
+//!   paired with a join, so `joins − leaves − crashes` (joins include the
+//!   initial seating) equals the live membership, which stays at its
+//!   initial size, and the churn-join count per window stays within the
+//!   probabilistic-rounding envelope `[floor(rate·n), floor(rate·n) + 1]`
+//!   of the spec's expectation.
+
+use dds_core::churn::ChurnSpec;
+use dds_core::process::ProcessId;
+use dds_core::time::{Time, TimeDelta};
+use dds_net::generate;
+use dds_sim::actor::{Actor, Context};
+use dds_sim::driver::BalancedChurn;
+use dds_sim::event::TimerId;
+use dds_sim::world::WorldBuilder;
+use proptest::prelude::*;
+
+/// A silent resident: enough to seat processes, no traffic. Churn
+/// accounting must hold independent of what the actors do.
+struct Idle;
+
+impl Actor<u64> for Idle {
+    fn on_start(&mut self, _: &mut Context<'_, u64>) {}
+    fn on_message(&mut self, _: &mut Context<'_, u64>, _: ProcessId, _: u64) {}
+    fn on_timer(&mut self, _: &mut Context<'_, u64>, _: TimerId) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The spec's expectation is the exact floor, bounded by membership
+    /// and monotone in rate and membership.
+    #[test]
+    fn expected_replacements_is_the_floor(
+        rate in 0.0f64..1.0,
+        n in 0usize..256,
+    ) {
+        let spec = ChurnSpec::rate(rate, TimeDelta::ticks(10)).unwrap();
+        let expected = spec.expected_replacements(n);
+        prop_assert_eq!(expected, (rate * n as f64).floor() as usize);
+        prop_assert!(expected <= n);
+        // Monotone in membership.
+        prop_assert!(spec.expected_replacements(n + 1) >= expected);
+        // Monotone in rate (guard against float edge at 1.0).
+        if rate <= 0.9 {
+            let faster = ChurnSpec::rate(rate + 0.1, TimeDelta::ticks(10)).unwrap();
+            prop_assert!(faster.expected_replacements(n) >= expected);
+        }
+    }
+
+    /// Balanced churn conserves: the metrics ledger reconciles with the
+    /// live membership, the membership never drifts from its initial
+    /// size, and total joins stay inside the probabilistic-rounding
+    /// envelope of `windows · expected_replacements`.
+    #[test]
+    fn balanced_churn_conserves_membership(
+        rate in 0.0f64..0.5,
+        window in 3u64..12,
+        n in 4usize..12,
+        windows in 1u64..20,
+        seed in any::<u64>(),
+    ) {
+        let spec = ChurnSpec::rate(rate, TimeDelta::ticks(window)).unwrap();
+        let mut world = WorldBuilder::new(seed)
+            .initial_graph(generate::complete(n))
+            .driver(BalancedChurn::new(spec).with_crash_fraction(0.4))
+            .spawn(|_| Box::new(Idle))
+            .build();
+        // Stop mid-window so exactly `windows` driver ticks have fired.
+        world.run_until(Time::from_ticks(windows * window + window / 2));
+        let m = world.metrics();
+        let (joins, leaves, crashes) =
+            (m.joins as usize, m.leaves as usize, m.crashes as usize);
+
+        // Ledger identity: arrivals minus departures is what's left.
+        // (`metrics.joins` counts the initial seating too — the paper's
+        // infinite-arrival model treats initial members as arrivals.)
+        prop_assert_eq!(joins - leaves - crashes, world.members().len());
+        // Balanced: every churn departure was paired with a fresh join.
+        let churn_joins = joins - n;
+        prop_assert_eq!(churn_joins, leaves + crashes);
+        prop_assert_eq!(world.members().len(), n);
+        // Rounding envelope: each window replaces floor(rate·n) or one
+        // more, never anything else.
+        let per_window = spec.expected_replacements(n);
+        let windows = windows as usize;
+        prop_assert!(churn_joins >= windows * per_window,
+            "{} churn joins under the floor {} over {} windows",
+            churn_joins, windows * per_window, windows);
+        prop_assert!(churn_joins <= windows * (per_window + 1),
+            "{} churn joins over the envelope {} over {} windows",
+            churn_joins, windows * (per_window + 1), windows);
+    }
+}

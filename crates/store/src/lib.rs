@@ -1,0 +1,47 @@
+//! # dds-store — dynamic storage over a churning membership
+//!
+//! A quorum-replicated read/write register service that stays atomic and
+//! live while processes join and leave — the "reliable object over a
+//! dynamic system" the paper's closing question asks about, built from
+//! the two follow-up lines of work indexed in PAPERS.md:
+//!
+//! - **Timed quorums** (Gramoli & Raynal): a quorum probed at time `t` is
+//!   trusted only for Δ ticks; after that it must be re-probed, because
+//!   churn silently replaces its members. [`quorum`] sizes such quorums
+//!   as `O(√(n·churn))` and tracks their expiry.
+//! - **Two-phase reads and writes** (the ABD pattern): every operation
+//!   first queries a quorum for the highest `(stamp, value)`, then
+//!   installs a pair into a quorum — writes install a fresh stamp, reads
+//!   write back what they saw so a later read cannot observe an older
+//!   value (the *new/old inversion* that `dds-check`'s mutant suite
+//!   re-creates by ablating exactly this step).
+//! - **Live reconfiguration with epoch fencing**: replica sets are
+//!   versioned by configuration *epochs*. A coordinator that suspects a
+//!   member snapshots the old configuration with a fenced quorum read
+//!   (`RecQuery`), migrates the state to the incoming replicas, and the
+//!   old epoch refuses further operations — a replica that answered a
+//!   `RecQuery` has promised the new epoch and NACKs stale clients with
+//!   the new member list. Above the sustainable churn bound (Spiegelman &
+//!   Keidar's liveness frontier) operations *abort* after a bounded
+//!   number of fenced retries instead of hanging.
+//!
+//! Everything runs as ordinary [`dds_sim::actor::Actor`]s over the
+//! deterministic kernel, so store histories are judged by the Wing–Gong
+//! atomicity checker in `dds-core` and explored adversarially by
+//! `dds-check`. The [`harness`] builds churned worlds, extracts
+//! [`RegisterHistory`](dds_core::spec::register::RegisterHistory)-shaped
+//! histories (aborted writes become pending operations on virtual
+//! processes — indeterminate, so the checker may or may not apply them),
+//! and folds op-latency / quorum-size histograms for `dds-obs`.
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod harness;
+pub mod msg;
+pub mod quorum;
+
+pub use actor::{LoggedStoreOp, StoreActor, StoreParams, StoreStats};
+pub use harness::{history_from_store, StoreRunReport, StoreScenario};
+pub use msg::{OpTag, Stamp, StoreMsg};
+pub use quorum::{QuorumView, TimedQuorumSpec};

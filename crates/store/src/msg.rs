@@ -1,0 +1,190 @@
+//! Wire types of the storage protocol.
+
+use dds_core::process::ProcessId;
+use dds_core::spec::register::RegOp;
+
+/// A write timestamp: totally ordered by `(seq, writer)`, so concurrent
+/// writers with the same sequence number are broken by identity — the
+/// standard multi-writer ABD stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Stamp {
+    /// Monotone sequence number (one past the highest the writer saw).
+    pub seq: u64,
+    /// Raw identity of the writing client.
+    pub writer: u64,
+}
+
+impl Stamp {
+    /// The stamp below every write (the register's initial ⊥ state).
+    pub const ZERO: Stamp = Stamp { seq: 0, writer: 0 };
+
+    /// The stamp a writer installs after observing `self` as the maximum.
+    pub fn next(self, writer: ProcessId) -> Stamp {
+        Stamp {
+            seq: self.seq + 1,
+            writer: writer.as_raw(),
+        }
+    }
+}
+
+/// Identifies one attempt of one client operation. Replies echo the tag;
+/// the client discards anything not matching its current attempt, so
+/// stragglers from a fenced or timed-out attempt cannot corrupt a later
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpTag {
+    /// Client-local operation counter.
+    pub seq: u64,
+    /// Retry attempt, starting at 1.
+    pub attempt: u32,
+}
+
+/// Messages of the storage service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreMsg {
+    /// Injected at a client: perform the register operation.
+    Invoke(RegOp),
+    /// Injected at a replica: administratively reconfigure to exactly this
+    /// member list (epoch bumps, state migrates through the fence).
+    Reconfigure {
+        /// The desired replica set.
+        members: Vec<ProcessId>,
+    },
+
+    // Client → replica (operation phases).
+    /// Phase 1: report your `(stamp, value)` for epoch `epoch`.
+    Query {
+        /// Operation attempt this belongs to.
+        tag: OpTag,
+        /// The configuration epoch the client believes current.
+        epoch: u64,
+    },
+    /// Phase 2: install `(stamp, value)` (a write's fresh stamp, or a
+    /// read's write-back of what it saw).
+    Store {
+        /// Operation attempt this belongs to.
+        tag: OpTag,
+        /// The configuration epoch the client believes current.
+        epoch: u64,
+        /// The stamp being installed.
+        stamp: Stamp,
+        /// The value being installed (`None` only for a ⊥ write-back).
+        value: Option<u64>,
+    },
+    /// Probe-based view refresh: what configuration is current?
+    ViewReq,
+
+    // Replica → client.
+    /// Phase-1 reply.
+    QueryAck {
+        /// Echo of the query's tag.
+        tag: OpTag,
+        /// The replica's current stamp.
+        stamp: Stamp,
+        /// The replica's current value.
+        value: Option<u64>,
+    },
+    /// Phase-2 reply.
+    StoreAck {
+        /// Echo of the store's tag.
+        tag: OpTag,
+    },
+    /// Epoch fence NACK: the operation addressed a superseded epoch; the
+    /// client should retry against the attached configuration.
+    Fenced {
+        /// Echo of the rejected operation's tag.
+        tag: OpTag,
+        /// The newest epoch the replica has promised or adopted.
+        epoch: u64,
+        /// That epoch's replica set.
+        members: Vec<ProcessId>,
+    },
+    /// View refresh reply: the replier's best-known configuration.
+    ViewRep {
+        /// Epoch of the configuration.
+        epoch: u64,
+        /// Its replica set.
+        members: Vec<ProcessId>,
+    },
+
+    // Membership and reconfiguration.
+    /// A joiner announcing itself to its neighborhood (candidate
+    /// discovery for the reconfiguration engine).
+    Announce,
+    /// One-hop relay of an [`StoreMsg::Announce`], so joiners reach
+    /// replicas they are not adjacent to.
+    Announce2 {
+        /// The process that announced itself.
+        joiner: ProcessId,
+    },
+    /// Replica heartbeat.
+    Probe {
+        /// Sender's configuration epoch.
+        epoch: u64,
+    },
+    /// Heartbeat reply, carrying the replier's candidate list so the
+    /// coordinator learns about joiners it is not adjacent to.
+    ProbeAck {
+        /// Replier's configuration epoch.
+        epoch: u64,
+        /// Candidates the replier has heard announce themselves.
+        candidates: Vec<ProcessId>,
+    },
+    /// Reconfiguration phase 1: fence the old epoch and report state for
+    /// migration into `epoch` with member list `members`. A replica that
+    /// answers has *promised* the new epoch: with fencing on it will
+    /// never again acknowledge an older epoch's operations.
+    RecQuery {
+        /// The new configuration epoch.
+        epoch: u64,
+        /// The new replica set.
+        members: Vec<ProcessId>,
+    },
+    /// Fenced snapshot reply.
+    RecAck {
+        /// Echo of the new epoch.
+        epoch: u64,
+        /// The replier's *adopted* epoch at promise time. A coordinator
+        /// whose own epoch is older than some replier's cancels its
+        /// attempt: its snapshot quorum would not be guaranteed to cover
+        /// writes completed in the newer configuration.
+        base: u64,
+        /// The replier's stamp at fence time.
+        stamp: Stamp,
+        /// The replier's value at fence time.
+        value: Option<u64>,
+    },
+    /// Reconfiguration phase 2: adopt configuration `epoch`/`members`
+    /// with the migrated `(stamp, value)` snapshot (applied only if
+    /// fresher than local state).
+    Migrate {
+        /// The new configuration epoch.
+        epoch: u64,
+        /// The new replica set.
+        members: Vec<ProcessId>,
+        /// Snapshot stamp from the fenced quorum read.
+        stamp: Stamp,
+        /// Snapshot value.
+        value: Option<u64>,
+    },
+    /// Migration acknowledgement (bookkeeping/metrics only — adoption is
+    /// one-shot on receipt).
+    MigrateAck {
+        /// Echo of the adopted epoch.
+        epoch: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_order_by_seq_then_writer() {
+        let a = Stamp { seq: 1, writer: 9 };
+        let b = Stamp { seq: 2, writer: 0 };
+        let c = Stamp { seq: 2, writer: 5 };
+        assert!(Stamp::ZERO < a && a < b && b < c);
+        assert_eq!(a.next(ProcessId::from_raw(3)), Stamp { seq: 2, writer: 3 });
+    }
+}

@@ -15,7 +15,10 @@
 //! - [`protocols`] (`dds-protocols`) — the one-time-query protocol family
 //!   and the experiment harness;
 //! - [`registers`] (`dds-registers`) — reliable registers and consensus
-//!   from unreliable base objects.
+//!   from unreliable base objects;
+//! - [`store`] (`dds-store`) — churn-tolerant timed-quorum storage with
+//!   live reconfiguration;
+//! - [`obs`] (`dds-obs`) — histograms, spans and the flight recorder.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,8 @@
 
 pub use dds_core as core;
 pub use dds_net as net;
+pub use dds_obs as obs;
 pub use dds_protocols as protocols;
 pub use dds_registers as registers;
 pub use dds_sim as sim;
+pub use dds_store as store;
