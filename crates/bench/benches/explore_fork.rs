@@ -1,0 +1,49 @@
+//! `explore_fork` — the snapshot-forking explorer against replay-DFS at
+//! matched budgets.
+//!
+//! Two workloads: the CI suite's small flood sweep (3 processes, both
+//! engines exhaust in a few hundred runs — measures per-run fixed costs)
+//! and a run-capped slice of the large flood sweep (6 processes — long
+//! runs, where replay's re-executed prefixes and the fork engine's
+//! dedup pruning dominate). The full exhaustion comparison lives in the
+//! `check1` experiment (`run_experiments check1`); the capped slice here
+//! keeps criterion iterations in the milliseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dds_check::mutants::{flood_exhaustive, flood_exhaustive_large};
+use dds_check::{explore_fork, explore_replay, Budget, Target};
+use std::hint::black_box;
+
+type BuildFn = fn() -> Box<dyn Target>;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_fork");
+    let cases: [(&str, BuildFn); 2] = [
+        ("flood-small", flood_exhaustive()),
+        ("flood-large", flood_exhaustive_large()),
+    ];
+    for (label, build) in cases {
+        let budget = Budget {
+            max_runs: 2_000,
+            max_depth: 48,
+            max_preemptions: 2,
+        };
+        group.bench_with_input(BenchmarkId::new("fork", label), &budget, |b, &budget| {
+            b.iter(|| {
+                let out = explore_fork(build().as_mut(), black_box(budget))
+                    .expect("flood targets support sessions");
+                black_box(out.runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("replay", label), &budget, |b, &budget| {
+            b.iter(|| {
+                let out = explore_replay(build().as_mut(), black_box(budget));
+                black_box(out.runs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

@@ -4,29 +4,37 @@
 //! [--max-preemptions N] [--fuzz-attempts N] [--seed N]`.
 //!
 //! Runs every correct/mutant pair in [`dds_check::mutants::suite`] through
-//! the bounded explorer, falling back to the seeded fuzzer for mutants the
-//! explorer misses within budget. A correct target that yields a
+//! the bounded explorer — by default the snapshot-forking engine with its
+//! DFS frontier sharded across `DDS_THREADS` workers
+//! ([`dds_check::explore_parallel`]); `DDS_EXPLORE=replay` selects the
+//! legacy whole-run replay — falling back to the seeded fuzzer for mutants
+//! the explorer misses within budget. A correct target that yields a
 //! counterexample, or a mutant that escapes both passes, is a suite
 //! failure: the process exits 4 (the CI checking gate). Exit 2 is bad
 //! arguments.
 //!
 //! With `--json <file>` a summary document in the `BENCH_sweeps.json`
 //! style is written there; it contains no wall-clock fields, so reruns —
-//! at any `DDS_THREADS` — are byte-identical (CI diffs two of them). With
-//! `--dump-dir <dir>` every counterexample is replayed once more and its
-//! event history dumped as `<dir>/<target>.jsonl` flight-recorder JSONL.
+//! at any `DDS_THREADS` — are byte-identical (CI diffs two of them).
+//! Throughput (`states/sec`) goes to stderr only, for the same reason.
+//! With `--dump-dir <dir>` every counterexample is replayed once more and
+//! its event history dumped as `<dir>/<target>.jsonl` flight-recorder
+//! JSONL.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use dds_check::mutants::suite;
-use dds_check::{explore, fuzz, Budget, Counterexample};
+use dds_check::{configured_explore_mode, explore_parallel, fuzz, Budget, Counterexample};
 
 struct Row {
     name: String,
     expect_violation: bool,
     violation_found: bool,
     explore_runs: usize,
+    states_explored: usize,
+    dedup_hits: usize,
+    forks: usize,
     fuzz_runs: usize,
     exhausted: bool,
     counterexample: Option<Counterexample>,
@@ -77,21 +85,37 @@ fn main() {
 
     let start = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
-    for mut subject in suite() {
-        let target = subject.target.as_mut();
-        let explored = explore(target, budget);
+    for subject in suite() {
+        let target_start = Instant::now();
+        let explored = explore_parallel(subject.build, budget);
+        let target_secs = target_start.elapsed().as_secs_f64();
+        // The instance used for fallback fuzzing and counterexample dumps;
+        // exploration itself builds its own copies per frontier shard.
+        let mut target = (subject.build)();
         let mut row = Row {
             name: target.name().to_string(),
             expect_violation: subject.expect_violation,
             violation_found: explored.counterexample.is_some(),
             explore_runs: explored.runs,
+            states_explored: explored.states_explored,
+            dedup_hits: explored.dedup_hits,
+            forks: explored.forks,
             fuzz_runs: 0,
             exhausted: explored.exhausted,
             counterexample: explored.counterexample,
         };
+        // Wall-clock-derived, so stderr only: stdout and the JSON document
+        // stay byte-identical across thread counts and machine speeds.
+        if row.states_explored > 0 && target_secs > 0.0 {
+            eprintln!(
+                "{:28} {:>9.0} states/sec",
+                row.name,
+                row.states_explored as f64 / target_secs
+            );
+        }
         // Mutants the bounded explorer misses get the deep random pass.
         if subject.expect_violation && row.counterexample.is_none() {
-            let out = fuzz(target, seed, fuzz_attempts, 2 * budget.max_depth);
+            let out = fuzz(target.as_mut(), seed, fuzz_attempts, 2 * budget.max_depth);
             row.fuzz_runs = out.runs;
             row.violation_found = out.counterexample.is_some();
             row.counterexample = out.counterexample;
@@ -107,8 +131,9 @@ fn main() {
 
     let all_ok = rows.iter().all(Row::ok);
     eprintln!(
-        "checked {} targets in {:.1} ms: {}",
+        "checked {} targets ({} mode) in {:.1} ms: {}",
         rows.len(),
+        configured_explore_mode().label(),
         start.elapsed().as_secs_f64() * 1e3,
         if all_ok { "all verdicts as expected" } else { "VERDICT MISMATCH" }
     );
@@ -141,9 +166,12 @@ fn report(row: &Row) {
         (false, true) => "FALSE ALARM",
     };
     print!(
-        "{:28} explore {:4} runs{} ",
+        "{:28} explore {:4} runs, {:5} states, {:4} dedup, {:4} forks{} ",
         row.name,
         row.explore_runs,
+        row.states_explored,
+        row.dedup_hits,
+        row.forks,
         if row.fuzz_runs > 0 {
             format!(" + fuzz {:4}", row.fuzz_runs)
         } else {
@@ -178,13 +206,17 @@ fn render_json(rows: &[Row], budget: Budget, all_ok: bool) -> String {
         };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"expect_violation\": {}, \"violation_found\": {}, \
-\"ok\": {}, \"explore_runs\": {}, \"fuzz_runs\": {}, \"exhausted\": {}, \
+\"ok\": {}, \"explore_runs\": {}, \"states_explored\": {}, \"dedup_hits\": {}, \
+\"forks\": {}, \"fuzz_runs\": {}, \"exhausted\": {}, \
 \"plan_len\": {}, \"preemptions\": {}}}{}\n",
             r.name,
             r.expect_violation,
             r.violation_found,
             r.ok(),
             r.explore_runs,
+            r.states_explored,
+            r.dedup_hits,
+            r.forks,
             r.fuzz_runs,
             r.exhausted,
             plan_len,

@@ -864,6 +864,78 @@ after bounded fenced retries instead of hanging)",
     e
 }
 
+/// CHECK1 — model-checking throughput: the snapshot-forking explorer
+/// against the legacy replay-DFS on the flood exhaustive sweep, at
+/// matched budgets (both engines fully exhaust the same bounded space).
+///
+/// `extra_runs` counts the *states explored* by the fork engine, so this
+/// record's `runs_per_sec` in `BENCH_sweeps.json` is states/sec — the
+/// figure the `--baseline` exit-3 gate protects. The printed table keeps
+/// only deterministic counters (byte-identical across reruns and thread
+/// counts); wall-clock figures and the fork-over-replay speedup go to
+/// stderr.
+pub fn check1_explore() -> Experiment {
+    use dds_check::mutants::flood_exhaustive_large;
+    use dds_check::{explore_fork, explore_replay, Budget};
+    use std::time::Instant;
+
+    let mut e = Experiment::new(
+        "CHECK1",
+        "model checking: snapshot-fork vs replay DFS on the flood exhaustive sweep",
+    );
+    // Wide enough that *both* engines exhaust the bounded space (replay
+    // needs ~51k runs, fork ~15k thanks to dedup pruning), so the timed
+    // passes compare completing the identical checking task rather than
+    // burning the same run count on different frontiers.
+    let budget = Budget {
+        max_runs: 100_000,
+        max_depth: 48,
+        max_preemptions: 2,
+    };
+    let build = flood_exhaustive_large();
+
+    // One timed exhaustive pass per engine for the speedup comparison.
+    let t0 = Instant::now();
+    let replayed = explore_replay(build().as_mut(), budget);
+    let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let forked = explore_fork(build().as_mut(), budget).expect("flood target supports sessions");
+    let fork_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let _ = writeln!(
+        e.table,
+        "{:<8} {:>6} {:>8} {:>8} {:>8} {:>10}",
+        "engine", "runs", "states", "dedup", "forks", "exhausted"
+    );
+    for (name, out) in [("replay", &replayed), ("fork", &forked)] {
+        let _ = writeln!(
+            e.table,
+            "{:<8} {:>6} {:>8} {:>8} {:>8} {:>10}",
+            name, out.runs, out.states_explored, out.dedup_hits, out.forks, out.exhausted
+        );
+    }
+    let _ = writeln!(
+        e.table,
+        "(identical bounded space, both exhausted: forking skips the whole-run replays \
+and prunes fingerprint-identical subtrees; BENCH_sweeps.json gates this \
+record's states/sec)"
+    );
+    eprintln!(
+        "CHECK1: replay {replay_ms:.1} ms, fork {fork_ms:.1} ms ({:.1}x at matched budgets)",
+        replay_ms / fork_ms.max(1e-9)
+    );
+
+    // The gated workload: repeated exhaustive fork sweeps, counted in
+    // explored states.
+    const REPS: usize = 24;
+    e.extra_runs += forked.states_explored as u64;
+    for _ in 0..REPS {
+        let out = explore_fork(build().as_mut(), budget).expect("flood target supports sessions");
+        e.extra_runs += out.states_explored as u64;
+    }
+    e
+}
+
 /// A lazy experiment constructor.
 pub type ExperimentFn = fn() -> Experiment;
 
@@ -885,6 +957,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("a3", a3_partition),
         ("a4", a4_membership),
         ("s1", s1_store),
+        ("check1", check1_explore),
     ]
 }
 

@@ -28,8 +28,42 @@
 //! prunes schedules whose difference provably cannot matter, and every
 //! seeded mutant must still be caught with it enabled.
 
+use std::collections::HashSet;
+
 use crate::schedule::{ChoicePoint, ReadyEvent};
-use crate::target::{Counterexample, RunReport, Target};
+use crate::target::{Counterexample, ExploreSession, RunReport, SessionState, Target, Violation};
+
+/// How [`explore`] walks the schedule tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// Fork the world at choice points and deduplicate states (the
+    /// default); targets without session support still replay.
+    Fork,
+    /// Legacy whole-run replay of decision vectors, kept as the
+    /// verification path behind `DDS_EXPLORE=replay`.
+    Replay,
+}
+
+impl ExploreMode {
+    /// Stable lowercase label (`"fork"` / `"replay"`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            ExploreMode::Fork => "fork",
+            ExploreMode::Replay => "replay",
+        }
+    }
+}
+
+/// The exploration strategy selected by the `DDS_EXPLORE` environment
+/// variable: `replay` picks the legacy whole-run replay, anything else
+/// (including unset) the snapshot-forking explorer — mirroring the
+/// `DDS_QUEUE=heap` escape hatch.
+pub fn configured_explore_mode() -> ExploreMode {
+    match std::env::var("DDS_EXPLORE") {
+        Ok(v) if v.eq_ignore_ascii_case("replay") => ExploreMode::Replay,
+        _ => ExploreMode::Fork,
+    }
+}
 
 /// Exploration budgets. All three must hold for a deviation to be tried.
 #[derive(Debug, Clone, Copy)]
@@ -56,8 +90,19 @@ impl Default for Budget {
 /// What the exploration did.
 #[derive(Debug, Clone)]
 pub struct Explored {
-    /// Target runs consumed.
+    /// Runs consumed against `max_runs`: whole target executions in
+    /// replay mode; descents to a terminal or dedup-pruned state in fork
+    /// mode (a pruned descent is far cheaper but still spends a slot, so
+    /// the budget stays a hard cap in both modes).
     pub runs: usize,
+    /// Choice-point states expanded by the forking explorer (0 in replay
+    /// mode, which never identifies states).
+    pub states_explored: usize,
+    /// Descents cut short because the state (with equal remaining
+    /// budgets and sleep set) was already explored violation-free.
+    pub dedup_hits: usize,
+    /// World snapshots taken ([`ExploreSession::fork`] calls).
+    pub forks: usize,
     /// First property violation found, if any.
     pub counterexample: Option<Counterexample>,
     /// `true` when the bounded space was fully explored (no violation and
@@ -165,7 +210,26 @@ fn extend_path(path: &mut Vec<Node>, keep: usize, report: &RunReport, por: bool)
 
 /// Explores the target's bounded schedule space depth-first, returning
 /// the first violation found (or exhaustion).
+///
+/// Dispatches on [`configured_explore_mode`]: the default forks world
+/// snapshots at choice points (when the target supports sessions) and
+/// deduplicates states; `DDS_EXPLORE=replay` — or a target without
+/// session support — replays whole decision vectors. Both walks visit
+/// alternatives in the same DFS order, so the first counterexample (and
+/// its plan) is identical; fork mode merely skips work replay re-does.
 pub fn explore(target: &mut dyn Target, budget: Budget) -> Explored {
+    match configured_explore_mode() {
+        ExploreMode::Replay => explore_replay(target, budget),
+        ExploreMode::Fork => match explore_fork(target, budget) {
+            Some(out) => out,
+            None => explore_replay(target, budget),
+        },
+    }
+}
+
+/// The legacy replay-DFS explorer: one whole [`Target::run`] per visited
+/// schedule. Kept as the verification/fallback path.
+pub fn explore_replay(target: &mut dyn Target, budget: Budget) -> Explored {
     let por = target.reduction_safe();
     let mut runs = 0usize;
     let mut run = |plan: &[usize], runs: &mut usize| {
@@ -177,6 +241,9 @@ pub fn explore(target: &mut dyn Target, budget: Budget) -> Explored {
     if let Some(v) = report.violation.clone() {
         return Explored {
             runs,
+            states_explored: 0,
+            dedup_hits: 0,
+            forks: 0,
             counterexample: Some(Counterexample::new(&report.plan(), v)),
             exhausted: false,
         };
@@ -189,6 +256,9 @@ pub fn explore(target: &mut dyn Target, budget: Budget) -> Explored {
         let Some((depth, alt)) = deepest_admissible(&path, budget) else {
             return Explored {
                 runs,
+                states_explored: 0,
+                dedup_hits: 0,
+                forks: 0,
                 counterexample: None,
                 exhausted: true,
             };
@@ -207,6 +277,9 @@ pub fn explore(target: &mut dyn Target, budget: Budget) -> Explored {
         if let Some(v) = report.violation.clone() {
             return Explored {
                 runs,
+                states_explored: 0,
+                dedup_hits: 0,
+                forks: 0,
                 counterexample: Some(Counterexample::new(&report.plan(), v)),
                 exhausted: false,
             };
@@ -215,31 +288,414 @@ pub fn explore(target: &mut dyn Target, budget: Budget) -> Explored {
     }
     Explored {
         runs,
+        states_explored: 0,
+        dedup_hits: 0,
+        forks: 0,
         counterexample: None,
         exhausted: false,
     }
 }
 
+/// First untried alternative at `node` admissible under the preemption
+/// budget and the sleep set — the single admissibility rule both the
+/// replay and fork walks share, so their DFS orders cannot drift.
+fn first_admissible(node: &Node, preemptions: usize, budget: Budget) -> Option<usize> {
+    for alt in 0..node.width {
+        if node.tried[alt] {
+            continue;
+        }
+        if preemptions + usize::from(alt != 0) > budget.max_preemptions {
+            continue;
+        }
+        if let Some(ev) = node.ready.get(alt) {
+            if node.asleep(ev) {
+                continue;
+            }
+        }
+        return Some(alt);
+    }
+    None
+}
+
 fn deepest_admissible(path: &[Node], budget: Budget) -> Option<(usize, usize)> {
     for depth in (0..path.len().min(budget.max_depth)).rev() {
-        let node = &path[depth];
         let preemptions = path[..depth].iter().filter(|n| n.chosen != 0).count();
-        for alt in 0..node.width {
-            if node.tried[alt] {
-                continue;
-            }
-            if preemptions + usize::from(alt != 0) > budget.max_preemptions {
-                continue;
-            }
-            if let Some(ev) = node.ready.get(alt) {
-                if node.asleep(ev) {
-                    continue;
-                }
-            }
+        if let Some(alt) = first_admissible(&path[depth], preemptions, budget) {
             return Some((depth, alt));
         }
     }
     None
+}
+
+/// One choice point along the forking DFS path: the frozen world at the
+/// decision (to fork siblings from) plus the same bookkeeping node the
+/// replay walk keeps.
+struct Frame {
+    /// `None` once the walk consumed the snapshot for the frame's last
+    /// admissible alternative — such a frame is permanently inadmissible,
+    /// so `deepest_admissible` never selects it again.
+    snapshot: Option<Box<dyn ExploreSession>>,
+    node: Node,
+}
+
+/// State-dedup key: canonical world fingerprint, the node's sorted sleep
+/// seqs, and the *remaining* exploration budgets expressed as (depth,
+/// preemptions-used). Two visits with equal keys explore byte-identical
+/// subtrees, so pruning the second cannot change the verdict — and since
+/// the search stops at the first violation, the first visit was
+/// violation-free, so pruning cannot skip the first counterexample
+/// either.
+type DedupKey = (u64, Vec<u64>, usize, usize);
+
+/// Choice points probed for fingerprint-only dedup at the start of a
+/// descent whose preemption budget is spent. Commuting reorderings
+/// converge within an event or two of the final deviation, so a small
+/// window catches nearly every merge; anything larger mostly buys
+/// full-state hashes along forced suffixes that nothing will match.
+const PROBE_WINDOW: usize = 4;
+
+/// The snapshot-forking DFS walk shared by [`explore_fork`] (whole tree)
+/// and [`explore_parallel`] (one root shard per instance).
+struct ForkDfs {
+    budget: Budget,
+    por: bool,
+    visited: HashSet<DedupKey>,
+    runs: usize,
+    states: usize,
+    dedup_hits: usize,
+    forks: usize,
+}
+
+impl ForkDfs {
+    fn new(budget: Budget, por: bool) -> Self {
+        ForkDfs {
+            budget,
+            por,
+            visited: HashSet::new(),
+            runs: 0,
+            states: 0,
+            dedup_hits: 0,
+            forks: 0,
+        }
+    }
+
+    /// Advances `session` to a terminal (or a dedup prune), growing
+    /// `path` with a default-chosen frame per new choice point below
+    /// `max_depth`. Returns the run's violation, if any.
+    fn descend(
+        &mut self,
+        session: &mut Box<dyn ExploreSession>,
+        path: &mut Vec<Frame>,
+        preemptions: usize,
+    ) -> Option<Violation> {
+        // Forced steps from the next `advance` belong to the frame whose
+        // choice was just resolved; once frames stop being pushed (depth
+        // cap or a failed fork) deeper forced steps belong to uncreated
+        // nodes and must not overwrite an ancestor's.
+        let mut attribute = true;
+        // A fork failure mid-descent stops frame creation for the rest of
+        // the run: a frame whose true parent is missing would inherit the
+        // wrong sleep set.
+        let mut forkable = true;
+        // With the preemption budget already spent, every frame this
+        // descent would push is permanently inadmissible: its default is
+        // tried and any alternative would need one more preemption. Skip
+        // the fork/fingerprint/dedup work entirely — the descent still
+        // contributes exactly one run either way (a dedup prune and a
+        // default run to terminal both count once), so `runs`, DFS order,
+        // and verdicts are unchanged; only states/dedup/forks counters
+        // shrink. This is what makes forking cheaper than replay: the
+        // leaf-level spine of the tree, where most choice points live,
+        // pays no snapshot cost.
+        let deviable = preemptions < self.budget.max_preemptions;
+        // Budget-spent descents still get a short fingerprint-only dedup
+        // window right after their last deviation: commuting reorderings
+        // converge to the first visit's state within a few events, so the
+        // first probes catch nearly all merges, while a bounded window
+        // keeps worlds with long forced suffixes (hundreds of choice
+        // points per run) from paying a full-state hash at every one.
+        let mut probes = if deviable { 0 } else { PROBE_WINDOW };
+        loop {
+            let (state, forced) = session.advance();
+            if attribute {
+                if let Some(last) = path.last_mut() {
+                    last.node.forced_after = forced;
+                }
+            }
+            match state {
+                SessionState::Done => {
+                    self.runs += 1;
+                    return session.violation();
+                }
+                SessionState::Choice => {
+                    let cp = session.choice().expect("Choice state has a choice point");
+                    attribute = false;
+                    if forkable && deviable && path.len() < self.budget.max_depth {
+                        let sleep = match (self.por, path.last()) {
+                            (true, Some(parent)) => child_sleep(&parent.node, &cp),
+                            _ => Vec::new(),
+                        };
+                        if let Some(fp) = session.fingerprint() {
+                            let mut sleep_seqs: Vec<u64> =
+                                sleep.iter().map(|s| s.seq).collect();
+                            sleep_seqs.sort_unstable();
+                            if !self.visited.insert((fp, sleep_seqs, path.len(), preemptions)) {
+                                self.dedup_hits += 1;
+                                self.runs += 1;
+                                return None;
+                            }
+                        }
+                        self.states += 1;
+                        if let Some(snapshot) = session.fork() {
+                            self.forks += 1;
+                            path.push(Frame {
+                                snapshot: Some(snapshot),
+                                node: node_from(&cp, Vec::new(), sleep),
+                            });
+                            attribute = true;
+                        } else {
+                            forkable = false;
+                        }
+                    } else if probes > 0 {
+                        // The continuation from here is fully determined
+                        // (all defaults to terminal — no frame below can
+                        // ever deviate), so a state seen before, under
+                        // *any* history, proves this descent ends in the
+                        // same violation-free terminal the first visit
+                        // reached. Fingerprint-only dedup — no fork, no
+                        // frame — turns the suffix walk into one hash
+                        // probe. `usize::MAX` namespaces these keys away
+                        // from frame-creation keys, where remaining depth
+                        // budget genuinely matters; the sleep set is
+                        // irrelevant for the same no-deviation reason.
+                        probes -= 1;
+                        if let Some(fp) = session.fingerprint() {
+                            if !self.visited.insert((fp, Vec::new(), usize::MAX, preemptions)) {
+                                self.dedup_hits += 1;
+                                self.runs += 1;
+                                return None;
+                            }
+                        }
+                    }
+                    session.choose(0);
+                }
+            }
+        }
+    }
+
+    /// Runs the DFS from a session positioned just past `path`'s last
+    /// decision (or a fresh start with an empty path).
+    fn run(mut self, mut session: Box<dyn ExploreSession>, mut path: Vec<Frame>) -> Explored {
+        let preemptions = path.iter().filter(|f| f.node.chosen != 0).count();
+        if let Some(v) = self.descend(&mut session, &mut path, preemptions) {
+            return self.finish(&path, Some(v), false);
+        }
+        while self.runs < self.budget.max_runs {
+            let Some((depth, alt)) = self.deepest_admissible(&path) else {
+                return self.finish(&path, None, true);
+            };
+            // Same sibling-completion bookkeeping as the replay walk.
+            if let Some(ev) = path[depth].node.executed() {
+                path[depth].node.done.push(ev);
+            }
+            path[depth].node.tried[alt] = true;
+            path[depth].node.chosen = alt;
+            path.truncate(depth + 1);
+            let above = path[..depth].iter().filter(|f| f.node.chosen != 0).count();
+            let session = if first_admissible(&path[depth].node, above, self.budget).is_none() {
+                // That was the frame's last admissible alternative:
+                // nothing will ever fork from it again, so consume the
+                // snapshot instead of cloning it.
+                path[depth].snapshot.take()
+            } else {
+                let forked = path[depth].snapshot.as_ref().and_then(|s| s.fork());
+                if forked.is_some() {
+                    self.forks += 1;
+                }
+                forked
+            };
+            let Some(mut session) = session else {
+                // A snapshot that forked once refusing to fork again is
+                // out of contract; skip the alternative rather than die.
+                continue;
+            };
+            session.choose(alt);
+            let preemptions = path.iter().filter(|f| f.node.chosen != 0).count();
+            if let Some(v) = self.descend(&mut session, &mut path, preemptions) {
+                return self.finish(&path, Some(v), false);
+            }
+        }
+        self.finish(&path, None, false)
+    }
+
+    fn deepest_admissible(&self, path: &[Frame]) -> Option<(usize, usize)> {
+        for depth in (0..path.len().min(self.budget.max_depth)).rev() {
+            let preemptions = path[..depth].iter().filter(|f| f.node.chosen != 0).count();
+            if let Some(alt) = first_admissible(&path[depth].node, preemptions, self.budget) {
+                return Some((depth, alt));
+            }
+        }
+        None
+    }
+
+    fn finish(self, path: &[Frame], violation: Option<Violation>, exhausted: bool) -> Explored {
+        let counterexample = violation.map(|v| {
+            // Choices beyond the deepest frame are all defaults, which
+            // `Counterexample::new` trims — same plan the replay walk
+            // reports for this schedule.
+            let plan: Vec<usize> = path.iter().map(|f| f.node.chosen).collect();
+            Counterexample::new(&plan, v)
+        });
+        Explored {
+            runs: self.runs,
+            states_explored: self.states,
+            dedup_hits: self.dedup_hits,
+            forks: self.forks,
+            counterexample,
+            exhausted,
+        }
+    }
+}
+
+/// Explores via snapshot forking, or `None` when the target does not
+/// support sessions (then the caller replays).
+pub fn explore_fork(target: &mut dyn Target, budget: Budget) -> Option<Explored> {
+    let por = target.reduction_safe();
+    let session = target.session()?;
+    Some(ForkDfs::new(budget, por).run(session, Vec::new()))
+}
+
+/// Explores `build`'s target with the DFS frontier sharded over the root
+/// choice point, one shard per root alternative, fanned across
+/// `DDS_THREADS` workers ([`dds_sim::parallel::parallel_map`]).
+///
+/// Shards are defined by the tree's structure (the root width), never by
+/// the worker count, and results merge in shard order with accumulation
+/// stopping at the first violating shard — so the outcome is
+/// byte-identical at any `DDS_THREADS` value. Each shard gets
+/// `max(1, max_runs / shards)` runs; state dedup is per-shard (shards
+/// share no memory). Falls back to the sequential [`explore`] when the
+/// target has no session support, when `DDS_EXPLORE=replay`, or when the
+/// budget forbids deviating at the root.
+pub fn explore_parallel(build: fn() -> Box<dyn Target>, budget: Budget) -> Explored {
+    explore_parallel_with(dds_sim::parallel::thread_count(), build, budget)
+}
+
+/// [`explore_parallel`] with an explicit worker count, so tests can pin
+/// thread-count invariance without touching the environment.
+pub fn explore_parallel_with(
+    threads: usize,
+    build: fn() -> Box<dyn Target>,
+    budget: Budget,
+) -> Explored {
+    let mut probe = build();
+    if configured_explore_mode() == ExploreMode::Replay {
+        return explore(probe.as_mut(), budget);
+    }
+    let Some(mut session) = probe.session() else {
+        return explore(probe.as_mut(), budget);
+    };
+    // Learn the root width from a probe descent to the first choice.
+    let (state, _) = session.advance();
+    if state == SessionState::Done {
+        // No choice points at all: the single deterministic run is the
+        // whole space.
+        let counterexample = session
+            .violation()
+            .map(|v| Counterexample::new(&[], v));
+        let exhausted = counterexample.is_none();
+        return Explored {
+            runs: 1,
+            states_explored: 0,
+            dedup_hits: 0,
+            forks: 0,
+            counterexample,
+            exhausted,
+        };
+    }
+    let width = session.choice().expect("Choice state has a choice point").width;
+    drop(session);
+    drop(probe);
+
+    let shards = if budget.max_preemptions == 0 || budget.max_depth == 0 {
+        // Root deviations are inadmissible: the whole tree is one shard.
+        1
+    } else {
+        width
+    };
+    let shard_budget = Budget {
+        max_runs: (budget.max_runs / shards).max(1),
+        ..budget
+    };
+
+    let results = dds_sim::parallel::parallel_map_with(threads, (0..shards).collect(), |k| {
+        let mut target = build();
+        let por = target.reduction_safe();
+        let Some(mut session) = target.session() else {
+            return explore(target.as_mut(), shard_budget);
+        };
+        let (state, _) = session.advance();
+        if state == SessionState::Done {
+            let counterexample = session.violation().map(|v| Counterexample::new(&[], v));
+            let exhausted = counterexample.is_none();
+            return Explored {
+                runs: 1,
+                states_explored: 0,
+                dedup_hits: 0,
+                forks: 0,
+                counterexample,
+                exhausted,
+            };
+        }
+        let cp = session.choice().expect("Choice state has a choice point");
+        // Shard k owns the subtree where the root dispatches alternative
+        // k. Reconstruct the root node exactly as the sequential walk
+        // would see it when it reaches that alternative: siblings 0..k
+        // completed (their executed events in `done`, feeding the sleep
+        // sets below), every root alternative marked tried so the shard
+        // never leaves its subtree.
+        let mut node = node_from(&cp, Vec::new(), Vec::new());
+        node.chosen = k;
+        node.tried = vec![true; node.width];
+        node.done = cp.ready.iter().take(k).copied().collect();
+        let Some(snapshot) = session.fork() else {
+            return explore(target.as_mut(), shard_budget);
+        };
+        let path = vec![Frame {
+            snapshot: Some(snapshot),
+            node,
+        }];
+        let mut dfs = ForkDfs::new(shard_budget, por);
+        dfs.forks += 1;
+        session.choose(k);
+        dfs.run(session, path)
+    });
+
+    let mut total = Explored {
+        runs: 0,
+        states_explored: 0,
+        dedup_hits: 0,
+        forks: 0,
+        counterexample: None,
+        exhausted: true,
+    };
+    for shard in results {
+        total.runs += shard.runs;
+        total.states_explored += shard.states_explored;
+        total.dedup_hits += shard.dedup_hits;
+        total.forks += shard.forks;
+        if shard.counterexample.is_some() {
+            // Mirror the sequential early stop: later shards' work is
+            // discarded (they ran, but the report is deterministic).
+            total.counterexample = shard.counterexample;
+            total.exhausted = false;
+            break;
+        }
+        if !shard.exhausted {
+            total.exhausted = false;
+        }
+    }
+    total
 }
 
 #[cfg(test)]

@@ -44,7 +44,13 @@ pub mod mutants;
 pub mod schedule;
 pub mod target;
 
-pub use explore::{explore, Budget, Explored};
+pub use explore::{
+    configured_explore_mode, explore, explore_fork, explore_parallel, explore_parallel_with,
+    explore_replay, Budget, ExploreMode, Explored,
+};
 pub use fuzz::{fuzz, shrink, FuzzOutcome};
 pub use schedule::{ChoicePoint, ReadyEvent, ScriptPolicy};
-pub use target::{Counterexample, RegisterTarget, RunReport, Target, Violation, WorldTarget};
+pub use target::{
+    Counterexample, ExploreSession, RegisterTarget, RunReport, SessionState, Target, Violation,
+    WorldTarget,
+};

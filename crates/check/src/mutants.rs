@@ -43,6 +43,7 @@ use dds_registers::construction::Construction;
 use dds_registers::harness::CrashEvent;
 use dds_sim::actor::{Actor, Context};
 use dds_sim::delay::{DelayModel, LossModel};
+use dds_sim::snapshot::{FingerprintMsg, StableHasher};
 use dds_sim::world::{World, WorldBuilder};
 use dds_store::{history_from_store, StoreActor, StoreMsg, StoreParams};
 
@@ -55,67 +56,73 @@ use crate::target::{RegisterTarget, Target, Violation, WorldTarget};
 /// neighborhood.
 const STORE_WRITEBACK_SEED: u64 = 161;
 
-/// One suite entry: a target and whether exploration must find a
+/// One suite entry: a target factory and whether exploration must find a
 /// violation (mutants) or must not (correct variants).
+///
+/// A `fn` pointer rather than a built target: the sharded explorer
+/// ([`crate::explore::explore_parallel`]) builds one independent target
+/// per worker thread, and `fn() -> Box<dyn Target>` is `Send + Sync` for
+/// free where a boxed world (full of `Rc`) is not.
 pub struct Subject {
-    /// The system under check.
-    pub target: Box<dyn Target>,
+    /// Builds a fresh, deterministic instance of the system under check.
+    pub build: fn() -> Box<dyn Target>,
     /// `true` for mutants: a violation must be found within budget.
     pub expect_violation: bool,
 }
 
-/// The full validation suite, correct/mutant pairs interleaved.
+macro_rules! subjects {
+    ($(($builder:ident, $flag:expr, $expect:expr)),* $(,)?) => {
+        vec![$(Subject {
+            build: || Box::new($builder($flag)) as Box<dyn Target>,
+            expect_violation: $expect,
+        }),*]
+    };
+}
+
+/// The full validation suite, correct/mutant pairs interleaved, plus the
+/// reconfiguration small-world sweep (correct-only: it asserts the store
+/// stays atomic and live through an epoch change).
 pub fn suite() -> Vec<Subject> {
-    vec![
-        Subject {
-            target: Box::new(flood_target(true)),
-            expect_violation: false,
-        },
-        Subject {
-            target: Box::new(flood_target(false)),
-            expect_violation: true,
-        },
-        Subject {
-            target: Box::new(race_target(true)),
-            expect_violation: false,
-        },
-        Subject {
-            target: Box::new(race_target(false)),
-            expect_violation: true,
-        },
-        Subject {
-            target: Box::new(responsive_register_target(true)),
-            expect_violation: false,
-        },
-        Subject {
-            target: Box::new(responsive_register_target(false)),
-            expect_violation: true,
-        },
-        Subject {
-            target: Box::new(majority_register_target(true)),
-            expect_violation: false,
-        },
-        Subject {
-            target: Box::new(majority_register_target(false)),
-            expect_violation: true,
-        },
-        Subject {
-            target: Box::new(store_writeback_target(true)),
-            expect_violation: false,
-        },
-        Subject {
-            target: Box::new(store_writeback_target(false)),
-            expect_violation: true,
-        },
-        Subject {
-            target: Box::new(store_fencing_target(true)),
-            expect_violation: false,
-        },
-        Subject {
-            target: Box::new(store_fencing_target(false)),
-            expect_violation: true,
-        },
-    ]
+    let mut subjects = subjects![
+        (flood_target, true, false),
+        (flood_target, false, true),
+        (race_target, true, false),
+        (race_target, false, true),
+        (responsive_register_target, true, false),
+        (responsive_register_target, false, true),
+        (majority_register_target, true, false),
+        (majority_register_target, false, true),
+        (store_writeback_target, true, false),
+        (store_writeback_target, false, true),
+        (store_fencing_target, true, false),
+        (store_fencing_target, false, true),
+    ];
+    subjects.push(Subject {
+        build: || Box::new(store_reconfig_target()),
+        expect_violation: false,
+    });
+    subjects
+}
+
+/// Builder of the correct flood target — the canonical small world whose
+/// bounded schedule space exhausts quickly. Exported for the throughput
+/// experiment and the criterion benches in `dds-bench`, which measure the
+/// forking explorer against replay-DFS on exactly this sweep.
+pub fn flood_exhaustive() -> fn() -> Box<dyn Target> {
+    || Box::new(flood_target(true)) as Box<dyn Target>
+}
+
+/// The scaled-up correct flood sweep the throughput experiment measures:
+/// a path of 6 processes and a 120-tick deadline instead of the CI
+/// suite's 3/30. Runs are long enough (diameter-5 propagation with
+/// broadcast cascades) that replay-DFS pays its defining cost — re-running
+/// the whole prefix from scratch for every deviation — while the forking
+/// engine resumes from an O(live state) snapshot and prunes the
+/// commuting reorderings this protocol is full of, so this world is
+/// where the architectural difference between the engines is visible
+/// rather than drowned in per-run fixed costs.
+pub fn flood_exhaustive_large() -> fn() -> Box<dyn Target> {
+    || Box::new(flood_target_sized(true, "flood-merge/large", 6, 120)) as Box<dyn Target>
 }
 
 // ---------------------------------------------------------------------------
@@ -125,12 +132,22 @@ pub fn suite() -> Vec<Subject> {
 /// Floods a bitmask of known process identities. `merge_union` is the
 /// gossip origin merge; without it, an incoming set *replaces* what the
 /// process knew (keeping only its own bit).
+#[derive(Clone)]
 struct Flood {
     known: u64,
     merge_union: bool,
 }
 
 impl Actor<u64> for Flood {
+    fn fork(&self) -> Option<Box<dyn Actor<u64>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        h.write_u64(self.known);
+        true
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
         self.known = 1 << ctx.pid().as_raw();
         ctx.set_timer(TimeDelta::TICK);
@@ -161,12 +178,24 @@ fn flood_target(merge_union: bool) -> WorldTarget<u64> {
     } else {
         "flood-merge/mutant"
     };
+    flood_target_sized(merge_union, name, 3, 30)
+}
+
+/// Same flood system over a path of `n` processes with a `deadline`-tick
+/// horizon — the small suite instance and the large throughput instance
+/// share everything but scale.
+fn flood_target_sized(
+    merge_union: bool,
+    name: &'static str,
+    n: usize,
+    deadline: u64,
+) -> WorldTarget<u64> {
     WorldTarget::new(
         name,
-        Time::from_ticks(30),
+        Time::from_ticks(deadline),
         move || {
             WorldBuilder::new(11)
-                .initial_graph(dds_net::generate::path(3))
+                .initial_graph(dds_net::generate::path(n))
                 .delay(DelayModel::Fixed(TimeDelta::TICK))
                 .spawn(move |_| {
                     Box::new(Flood {
@@ -195,6 +224,7 @@ fn flood_target(merge_union: bool) -> WorldTarget<u64> {
         },
     )
     .with_reduction()
+    .with_fork()
 }
 
 // ---------------------------------------------------------------------------
@@ -210,14 +240,35 @@ enum RaceMsg {
     Commit,
 }
 
+impl FingerprintMsg for RaceMsg {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        h.write_u8(match self {
+            RaceMsg::Prepare => 0,
+            RaceMsg::PrepForward => 1,
+            RaceMsg::Ack => 2,
+            RaceMsg::Commit => 3,
+        });
+    }
+}
+
 /// p0: sends `Prepare` to p1 directly and via two relays (p3→p4) to p2;
 /// commits after both acks (correct) or after the first (mutant).
+#[derive(Clone)]
 struct Coordinator {
     acks: usize,
     wait_for_all: bool,
 }
 
 impl Actor<RaceMsg> for Coordinator {
+    fn fork(&self) -> Option<Box<dyn Actor<RaceMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        h.write_usize(self.acks);
+        true
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, RaceMsg>) {
         ctx.send(ProcessId::from_raw(3), RaceMsg::PrepForward);
         ctx.send(ProcessId::from_raw(1), RaceMsg::Prepare);
@@ -236,13 +287,23 @@ impl Actor<RaceMsg> for Coordinator {
 }
 
 /// p1 and p2: ack the prepare; flag a commit that arrives unprepared.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct Participant {
     prepared: bool,
     commit_before_prepare: bool,
 }
 
 impl Actor<RaceMsg> for Participant {
+    fn fork(&self) -> Option<Box<dyn Actor<RaceMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        h.write_bool(self.prepared);
+        h.write_bool(self.commit_before_prepare);
+        true
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_, RaceMsg>, _: ProcessId, msg: RaceMsg) {
         match msg {
             RaceMsg::Prepare => {
@@ -256,12 +317,26 @@ impl Actor<RaceMsg> for Participant {
 }
 
 /// p3 and p4: forward `PrepForward` one hop (p3 → p4 → p2).
+#[derive(Clone)]
 struct Relay {
     next: ProcessId,
     delivers: RaceMsg,
 }
 
 impl Actor<RaceMsg> for Relay {
+    fn fork(&self) -> Option<Box<dyn Actor<RaceMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        // Stateless: `next`/`delivers` are immutable wiring, but hash
+        // them anyway — two relays are only interchangeable if wired the
+        // same way.
+        h.write_u64(self.next.as_raw());
+        FingerprintMsg::fingerprint(&self.delivers, h);
+        true
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_, RaceMsg>, _: ProcessId, msg: RaceMsg) {
         if msg == RaceMsg::PrepForward {
             ctx.send(self.next, self.delivers);
@@ -322,6 +397,7 @@ fn race_target(wait_for_all: bool) -> WorldTarget<RaceMsg> {
         },
     )
     .with_reduction()
+    .with_fork()
 }
 
 // ---------------------------------------------------------------------------
@@ -425,6 +501,7 @@ fn store_writeback_target(write_back: bool) -> WorldTarget<StoreMsg> {
         },
     )
     .with_reduction()
+    .with_fork()
 }
 
 const WB_WRITER: u64 = 3;
@@ -523,12 +600,121 @@ fn store_fencing_target(epoch_fencing: bool) -> WorldTarget<StoreMsg> {
         },
     )
     .with_reduction()
+    .with_fork()
+}
+
+const RECONFIG_WRITER: u64 = 4;
+const RECONFIG_READER: u64 = 5;
+
+/// Exhaustive small-world sweep of a live `dds-store` reconfiguration:
+/// 3 replicas, one administrative membership change racing a write and a
+/// read, bounded depth. Unlike the ablation targets above this one models
+/// the *correct* protocol and must hold two properties on every schedule
+/// in the bounded space:
+///
+/// - **atomicity** — the client history stays linearizable through the
+///   epoch change (no write lost to the decommissioned configuration, no
+///   read inversion across the migration), and
+/// - **no hang** — the churn here (one reconfiguration, lossless jittered
+///   delays) is far below the sustainable-churn bound, so every injected
+///   operation must *complete*: it reaches the client's op log with a
+///   response and without exhausting its retry budget.
+///
+/// Jittered (not fixed) delays, and the write injected *concurrent* with
+/// the reconfiguration, on purpose: fixed one-tick delays turn the
+/// start-up `Announce` gossip into two enormous same-instant waves whose
+/// permutations alone exhaust `max_depth` before the first protocol
+/// message, leaving the reconfiguration unexplored. Jitter thins the
+/// noise, and the overlapping injections put the write's `Store` wave and
+/// the migration's fence inside the bounded choice-point window, so the
+/// deviations the budget affords reorder exactly the write/migrate race
+/// the epoch fence exists for (the read then validates the outcome on the
+/// default tail).
+fn store_reconfig_target() -> WorldTarget<StoreMsg> {
+    WorldTarget::new(
+        "store-reconfig/sweep",
+        Time::from_ticks(90),
+        || {
+            let params = StoreParams {
+                initial: (0..3).map(ProcessId::from_raw).collect(),
+                replica_count: 3,
+                write_back: true,
+                epoch_fencing: true,
+                probe_every: None,
+                // Above the worst-case two-phase round trip under the
+                // 1..=4-tick jitter (≈16 ticks): a timeout must mean the
+                // epoch moved, never that the dice rolled slow — else an
+                // adversarial schedule starves the op by spurious retries
+                // and the liveness half of the check false-alarms.
+                op_timeout: TimeDelta::ticks(20),
+                max_attempts: 6,
+                view_delta: TimeDelta::ticks(25),
+                ..StoreParams::default()
+            };
+            let mut world = WorldBuilder::new(23)
+                .initial_graph(dds_net::generate::complete(6))
+                .delay(DelayModel::Uniform {
+                    min: TimeDelta::ticks(1),
+                    max: TimeDelta::ticks(4),
+                })
+                .spawn(move |_| Box::new(StoreActor::new(params.clone())))
+                .build();
+            let w = ProcessId::from_raw(RECONFIG_WRITER);
+            let r = ProcessId::from_raw(RECONFIG_READER);
+            world.inject(Time::from_ticks(1), w, StoreMsg::Invoke(RegOp::Write(7)));
+            world.inject(
+                Time::from_ticks(2),
+                ProcessId::from_raw(0),
+                StoreMsg::Reconfigure {
+                    members: (1..4).map(ProcessId::from_raw).collect(),
+                },
+            );
+            world.inject(Time::from_ticks(20), r, StoreMsg::Invoke(RegOp::Read));
+            world
+        },
+        |world: &World<StoreMsg>| {
+            let clients = [
+                ProcessId::from_raw(RECONFIG_WRITER),
+                ProcessId::from_raw(RECONFIG_READER),
+            ];
+            check_store_history(world, &clients)?;
+            // One op was injected at each client; each must have finished.
+            for pid in clients {
+                let Some(actor) = world.actor::<StoreActor>(pid) else {
+                    return Err(Violation {
+                        reason: "store client actor missing".into(),
+                        details: format!("{pid:?}"),
+                    });
+                };
+                let done = actor
+                    .log()
+                    .iter()
+                    .filter(|op| op.responded.is_some() && !op.aborted)
+                    .count();
+                if done != 1 || actor.in_flight().is_some() {
+                    return Err(Violation {
+                        reason: "store operation hung below the churn bound".into(),
+                        details: format!(
+                            "{pid:?}: {done} completed, in flight {:?}, log {:?}",
+                            actor.in_flight(),
+                            actor.log()
+                        ),
+                    });
+                }
+            }
+            Ok(())
+        },
+    )
+    .with_reduction()
+    .with_fork()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explore::{explore, Budget};
+    use crate::explore::{
+        explore, explore_fork, explore_parallel_with, explore_replay, Budget,
+    };
     use crate::fuzz::fuzz;
 
     fn budget() -> Budget {
@@ -650,6 +836,124 @@ mod tests {
             "witness must shrink to <= 20 decisions, got {}",
             ce.plan.len()
         );
+    }
+
+    #[test]
+    fn store_reconfig_sweep_is_clean() {
+        let out = explore(&mut store_reconfig_target(), budget());
+        assert!(
+            out.counterexample.is_none(),
+            "reconfiguration below the churn bound must stay atomic and live: {:?}",
+            out.counterexample
+        );
+    }
+
+    /// Exhaustion-equivalence regression: on the flood and race suites the
+    /// fork+dedup explorer and the legacy replay-DFS must reach the same
+    /// terminal verdicts — same first counterexample (byte-identical
+    /// plan), and exhaustion whenever replay exhausts (dedup only ever
+    /// *saves* runs) — with sleep-set POR both on and off.
+    #[test]
+    fn fork_and_replay_agree_on_flood_and_race_suites() {
+        fn check_pair(label: &str, forked: crate::explore::Explored, replayed: crate::explore::Explored) {
+            if let Some(rce) = &replayed.counterexample {
+                let fce = forked
+                    .counterexample
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{label}: fork missed replay's witness {rce:?}"));
+                assert_eq!(rce.plan, fce.plan, "{label}: witness plans must be byte-identical");
+            } else if forked.counterexample.is_some() {
+                assert!(
+                    !replayed.exhausted,
+                    "{label}: fork found a witness replay exhaustively ruled out"
+                );
+            }
+            if replayed.exhausted {
+                assert!(
+                    forked.exhausted,
+                    "{label}: dedup only prunes duplicate subtrees, so fork \
+                     must exhaust whenever replay does (replay {} runs, fork {})",
+                    replayed.runs, forked.runs
+                );
+                assert!(forked.runs <= replayed.runs, "{label}: pruning cannot add runs");
+            }
+        }
+        for por in [true, false] {
+            for flag in [true, false] {
+                let (mut a, mut b) = (flood_target(flag), flood_target(flag));
+                if !por {
+                    a.disable_reduction();
+                    b.disable_reduction();
+                }
+                let forked = explore_fork(&mut a, budget()).expect("flood target forks");
+                check_pair(
+                    &format!("flood({flag}) por={por}"),
+                    forked,
+                    explore_replay(&mut b, budget()),
+                );
+
+                let (mut a, mut b) = (race_target(flag), race_target(flag));
+                if !por {
+                    a.disable_reduction();
+                    b.disable_reduction();
+                }
+                let forked = explore_fork(&mut a, budget()).expect("race target forks");
+                check_pair(
+                    &format!("race({flag}) por={por}"),
+                    forked,
+                    explore_replay(&mut b, budget()),
+                );
+            }
+        }
+    }
+
+    /// Pins the POR/dedup interaction: an epoch bump conservatively wipes
+    /// inherited sleep sets, and the dedup key carries the sleep seqs, so
+    /// dedup stays sound with POR on — the reduced fork walk must still
+    /// exhaust the correct flood space, and with POR *off* the commuting
+    /// interleavings it no longer prunes collapse into dedup hits instead.
+    #[test]
+    fn dedup_composes_with_sleep_set_reduction() {
+        let reduced = explore_fork(&mut flood_target(true), budget()).unwrap();
+        assert!(reduced.exhausted && reduced.counterexample.is_none());
+        let mut plain = flood_target(true);
+        plain.disable_reduction();
+        let unreduced = explore_fork(&mut plain, budget()).unwrap();
+        assert!(unreduced.exhausted && unreduced.counterexample.is_none());
+        assert!(
+            unreduced.dedup_hits > 0,
+            "commuting interleavings must collide on state fingerprints"
+        );
+        assert!(
+            reduced.runs < unreduced.runs,
+            "POR must still prune on top of dedup: reduced={} unreduced={}",
+            reduced.runs,
+            unreduced.runs
+        );
+    }
+
+    /// Frontier sharding must be invisible in the output: every counter
+    /// and the witness are identical at any worker count.
+    #[test]
+    fn parallel_exploration_is_thread_count_invariant() {
+        for (label, build) in [
+            ("flood/correct", (|| Box::new(flood_target(true)) as Box<dyn Target>) as fn() -> Box<dyn Target>),
+            ("flood/mutant", || Box::new(flood_target(false)) as Box<dyn Target>),
+            ("race/mutant", || Box::new(race_target(false)) as Box<dyn Target>),
+        ] {
+            let t1 = explore_parallel_with(1, build, budget());
+            let t8 = explore_parallel_with(8, build, budget());
+            assert_eq!(t1.runs, t8.runs, "{label}: runs");
+            assert_eq!(t1.states_explored, t8.states_explored, "{label}: states");
+            assert_eq!(t1.dedup_hits, t8.dedup_hits, "{label}: dedup hits");
+            assert_eq!(t1.forks, t8.forks, "{label}: forks");
+            assert_eq!(t1.exhausted, t8.exhausted, "{label}: exhausted");
+            assert_eq!(
+                t1.counterexample.as_ref().map(|c| &c.plan),
+                t8.counterexample.as_ref().map(|c| &c.plan),
+                "{label}: witness plan"
+            );
+        }
     }
 
     #[test]

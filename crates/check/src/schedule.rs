@@ -90,7 +90,7 @@ impl ScriptPolicy {
     }
 }
 
-fn summarize(ready: &[ReadySummary]) -> Vec<ReadyEvent> {
+pub(crate) fn summarize(ready: &[ReadySummary]) -> Vec<ReadyEvent> {
     ready
         .iter()
         .map(|r| ReadyEvent {

@@ -9,12 +9,14 @@ use dds_core::time::Time;
 use dds_obs::{FlightRecorder, ObsEvent, Sink};
 use dds_registers::construction::Construction;
 use dds_registers::harness::{run_schedule_planned, CrashEvent};
+use dds_sim::snapshot::{fingerprint_msg, FingerprintMsg, StableHasher};
 use dds_sim::world::World;
 
-use crate::schedule::{ChoiceLog, ChoicePoint, ScriptPolicy};
+use crate::schedule::{summarize, ChoiceLog, ChoicePoint, ReadyEvent, ScriptPolicy};
 
-/// Final-state property over a finished world.
-type WorldCheck<M> = Box<dyn Fn(&World<M>) -> Result<(), Violation>>;
+/// Final-state property over a finished world. `Rc` so the target and the
+/// exploration sessions it spawns can share one closure.
+type WorldCheck<M> = Rc<dyn Fn(&World<M>) -> Result<(), Violation>>;
 
 /// A property failure observed in one run.
 #[derive(Debug, Clone)]
@@ -100,9 +102,66 @@ pub trait Target {
         false
     }
 
+    /// Opens an incremental exploration session over a fresh run, or
+    /// `None` (the default) when the target only supports whole-run
+    /// replay. A `Some` return promises that [`ExploreSession::fork`]
+    /// works on the initial state: the explorer forks at choice points
+    /// instead of replaying decision prefixes, and falls back to
+    /// [`Target::run`] when this returns `None`.
+    fn session(&mut self) -> Option<Box<dyn ExploreSession>> {
+        None
+    }
+
     /// Replays `plan` and dumps the run's event history as JSONL to
     /// `path` through a [`FlightRecorder`].
     fn dump_counterexample(&mut self, plan: &[usize], path: &Path, reason: &str);
+}
+
+/// Where an exploration session stopped after [`ExploreSession::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Stopped at a genuine choice point (ready width > 1); inspect it
+    /// with [`ExploreSession::choice`] and resolve it with
+    /// [`ExploreSession::choose`].
+    Choice,
+    /// The run completed (deadline reached or queue drained); judge it
+    /// with [`ExploreSession::violation`].
+    Done,
+}
+
+/// One live run that an explorer steers decision by decision.
+///
+/// The session semantics mirror the replay path exactly: forced steps
+/// (ready width 1) dispatch in default `(time, seq)` order, genuine
+/// choice points surface to the caller, and a run judged at `Done` must
+/// equal the [`Target::run`] verdict for the same decision vector.
+pub trait ExploreSession {
+    /// Runs forward until the next genuine choice point or completion,
+    /// returning where it stopped and the forced (width-1) steps executed
+    /// along the way, in order — the explorer's sleep sets need them.
+    fn advance(&mut self) -> (SessionState, Vec<ReadyEvent>);
+
+    /// The pending choice point (with `chosen` still 0), when stopped at
+    /// [`SessionState::Choice`].
+    fn choice(&self) -> Option<ChoicePoint>;
+
+    /// Resolves the pending choice point by dispatching the `idx`-th
+    /// ready event (clamped like a replay plan entry).
+    fn choose(&mut self, idx: usize);
+
+    /// Snapshots the session into an independent copy that will follow
+    /// the exact same future for the same decisions, or `None` when some
+    /// component does not support forking.
+    fn fork(&self) -> Option<Box<dyn ExploreSession>>;
+
+    /// Canonical fingerprint of the current state for deduplication, or
+    /// `None` when some component opts out (exploration still works,
+    /// duplicate states are just re-explored).
+    fn fingerprint(&self) -> Option<u64>;
+
+    /// The property verdict over the current state — meaningful once
+    /// [`SessionState::Done`] is reached.
+    fn violation(&self) -> Option<Violation>;
 }
 
 /// A [`Target`] wrapping a simulator world: build it, run it under a
@@ -114,6 +173,9 @@ pub struct WorldTarget<M> {
     check: WorldCheck<M>,
     deadline: Time,
     reduction_safe: bool,
+    /// Message fingerprint hook; `Some` (via [`WorldTarget::with_fork`])
+    /// opts the target into snapshot-forking exploration sessions.
+    forkable: Option<fn(&M, &mut StableHasher)>,
 }
 
 impl<M: Clone + 'static> WorldTarget<M> {
@@ -129,9 +191,10 @@ impl<M: Clone + 'static> WorldTarget<M> {
         WorldTarget {
             name: name.into(),
             build: Box::new(build),
-            check: Box::new(check),
+            check: Rc::new(check),
             deadline,
             reduction_safe: false,
+            forkable: None,
         }
     }
 
@@ -139,6 +202,18 @@ impl<M: Clone + 'static> WorldTarget<M> {
     /// reduction.
     pub fn with_reduction(mut self) -> Self {
         self.reduction_safe = true;
+        self
+    }
+
+    /// Opts the target into snapshot-forking exploration: its message
+    /// type can be fingerprinted, so [`Target::session`] returns a live
+    /// session (provided the world's actors and driver also support
+    /// forking — verified with a probe fork when the session opens).
+    pub fn with_fork(mut self) -> Self
+    where
+        M: FingerprintMsg,
+    {
+        self.forkable = Some(fingerprint_msg::<M>);
         self
     }
 
@@ -175,6 +250,24 @@ impl<M: Clone + 'static> Target for WorldTarget<M> {
         self.reduction_safe
     }
 
+    fn session(&mut self) -> Option<Box<dyn ExploreSession>> {
+        let msg_fp = self.forkable?;
+        let world = (self.build)();
+        // Probe once: if any actor or the driver opts out of forking, the
+        // explorer must take the replay path from the start rather than
+        // fail mid-search.
+        world.try_fork()?;
+        Some(Box::new(WorldSession {
+            world,
+            check: Rc::clone(&self.check),
+            deadline: self.deadline,
+            msg_fp,
+            at: Time::ZERO,
+            ready: Vec::new(),
+            done: false,
+        }))
+    }
+
     fn dump_counterexample(&mut self, plan: &[usize], path: &Path, reason: &str) {
         let mut world = (self.build)();
         let log: ChoiceLog = Rc::new(RefCell::new(Vec::new()));
@@ -187,6 +280,89 @@ impl<M: Clone + 'static> Target for WorldTarget<M> {
                 recorder.fail(reason, at);
             }
         }
+    }
+}
+
+/// A live [`WorldTarget`] run driven through [`dds_sim::world::World::step_nth`]
+/// instead of a [`ScriptPolicy`]: forced steps dispatch in default order,
+/// genuine choice points surface to the explorer.
+struct WorldSession<M> {
+    world: World<M>,
+    check: WorldCheck<M>,
+    deadline: Time,
+    msg_fp: fn(&M, &mut StableHasher),
+    /// Instant of the pending choice point, when stopped at one.
+    at: Time,
+    /// Ready set of the pending choice point, when stopped at one.
+    ready: Vec<ReadyEvent>,
+    done: bool,
+}
+
+impl<M: Clone + 'static> ExploreSession for WorldSession<M> {
+    fn advance(&mut self) -> (SessionState, Vec<ReadyEvent>) {
+        let mut forced = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            match self.world.ready_set(&mut buf) {
+                Some(at) if at <= self.deadline => {
+                    let ready = summarize(&buf);
+                    if ready.len() > 1 {
+                        self.at = at;
+                        self.ready = ready;
+                        return (SessionState::Choice, forced);
+                    }
+                    forced.push(ready[0]);
+                    self.world.step_nth(0);
+                }
+                _ => {
+                    self.world.idle_until(self.deadline);
+                    self.done = true;
+                    self.ready.clear();
+                    return (SessionState::Done, forced);
+                }
+            }
+        }
+    }
+
+    fn choice(&self) -> Option<ChoicePoint> {
+        if self.done || self.ready.len() < 2 {
+            return None;
+        }
+        Some(ChoicePoint {
+            at: self.at,
+            epoch: self.world.epoch(),
+            width: self.ready.len(),
+            chosen: 0,
+            ready: self.ready.clone(),
+        })
+    }
+
+    fn choose(&mut self, idx: usize) {
+        debug_assert!(self.ready.len() > 1, "choose outside a choice point");
+        let idx = idx.min(self.ready.len().saturating_sub(1));
+        self.world.step_nth(idx);
+        self.ready.clear();
+    }
+
+    fn fork(&self) -> Option<Box<dyn ExploreSession>> {
+        let world = self.world.try_fork()?;
+        Some(Box::new(WorldSession {
+            world,
+            check: Rc::clone(&self.check),
+            deadline: self.deadline,
+            msg_fp: self.msg_fp,
+            at: self.at,
+            ready: self.ready.clone(),
+            done: self.done,
+        }))
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        self.world.fingerprint(self.msg_fp)
+    }
+
+    fn violation(&self) -> Option<Violation> {
+        (self.check)(&self.world).err()
     }
 }
 

@@ -58,6 +58,17 @@ impl Rng {
         Rng::seeded(self.next_u64())
     }
 
+    /// The four raw xoshiro256** state words.
+    ///
+    /// Exposed so that snapshot fingerprints can canonicalize the
+    /// generator's stream position: two worlds whose visible state agrees
+    /// but whose generators have consumed different amounts of entropy
+    /// will diverge on the very next draw, so they must *not* be
+    /// identified.
+    pub const fn state_words(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1]

@@ -15,6 +15,7 @@ use dds_core::rng::Rng;
 use dds_core::time::{Time, TimeDelta};
 
 use crate::event::TimerId;
+use crate::snapshot::StableHasher;
 
 /// A protocol process.
 ///
@@ -57,6 +58,31 @@ pub trait Actor<M>: Any {
     /// to the survivor, as in the paper's model).
     fn on_neighbor_down(&mut self, ctx: &mut Context<'_, M>, peer: ProcessId) {
         let _ = (ctx, peer);
+    }
+
+    /// Deep-copies this actor for a forked world snapshot, or `None` when
+    /// the actor does not support forking (the default).
+    ///
+    /// Opting in (usually `Some(Box::new(self.clone()))`) lets the
+    /// explorer fork a world at a choice point instead of replaying the
+    /// decision prefix from scratch. The copy must be *complete*: any
+    /// state shared with the original would leak schedule decisions
+    /// between exploration branches.
+    fn fork(&self) -> Option<Box<dyn Actor<M>>> {
+        None
+    }
+
+    /// Absorbs this actor's state into a world fingerprint, returning
+    /// `true` when supported. The default (`false`) disables state
+    /// deduplication for worlds containing this actor — forking still
+    /// works, duplicate states are just re-explored.
+    ///
+    /// Implementations must hash every field that can influence future
+    /// behavior; omitting one can identify divergent states and silently
+    /// prune reachable schedules.
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        let _ = h;
+        false
     }
 }
 

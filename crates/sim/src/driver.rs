@@ -28,6 +28,8 @@ use dds_core::time::{Time, TimeDelta};
 use dds_net::algo::shortest_path;
 use dds_net::graph::Graph;
 
+use crate::snapshot::StableHasher;
+
 /// One membership change requested by a driver.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChurnAction {
@@ -85,6 +87,22 @@ pub trait ChurnDriver {
         graph: &Graph,
         rng: &mut Rng,
     ) -> (Vec<ChurnAction>, Option<Time>);
+
+    /// Deep-copies this driver for a forked world snapshot, or `None`
+    /// when forking is unsupported (the default). Mirrors
+    /// [`crate::actor::Actor::fork`]: the copy must carry all mutable
+    /// scheduling state (cursors, wakeup bookkeeping).
+    fn fork(&self) -> Option<Box<dyn ChurnDriver>> {
+        None
+    }
+
+    /// Absorbs the driver's mutable state into a world fingerprint,
+    /// returning `true` when supported. Mirrors
+    /// [`crate::actor::Actor::fingerprint`].
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        let _ = h;
+        false
+    }
 }
 
 impl fmt::Debug for dyn ChurnDriver {
@@ -111,6 +129,15 @@ impl ChurnDriver for NoChurn {
 
     fn on_tick(&mut self, _: Time, _: &Graph, _: &mut Rng) -> (Vec<ChurnAction>, Option<Time>) {
         (Vec::new(), None)
+    }
+
+    fn fork(&self) -> Option<Box<dyn ChurnDriver>> {
+        Some(Box::new(NoChurn))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        h.write_u8(0); // stateless: a fixed tag distinguishes it from nothing
+        true
     }
 }
 
@@ -206,6 +233,15 @@ impl ChurnDriver for BalancedChurn {
         }
         (actions, Some(now + self.spec.window()))
     }
+
+    fn fork(&self) -> Option<Box<dyn ChurnDriver>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        h.write_u8(2); // all state is immutable run configuration
+        true
+    }
 }
 
 /// Geometric growth (`M^∞`, unbounded concurrency): every window the
@@ -248,6 +284,15 @@ impl ChurnDriver for Growth {
         }
         k = k.min(self.cap.saturating_sub(membership));
         (vec![ChurnAction::Join; k], Some(now + self.window))
+    }
+
+    fn fork(&self) -> Option<Box<dyn ChurnDriver>> {
+        Some(Box::new(*self))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        h.write_u8(3); // all state is immutable run configuration
+        true
     }
 }
 
@@ -293,6 +338,15 @@ impl ChurnDriver for PathStretch {
             ),
             _ => (Vec::new(), next),
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn ChurnDriver>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        h.write_u8(4); // all state is immutable run configuration
+        true
     }
 }
 
@@ -358,6 +412,31 @@ impl ChurnDriver for Compose {
         }
         (actions, earlier(self.next_a, self.next_b))
     }
+
+    fn fork(&self) -> Option<Box<dyn ChurnDriver>> {
+        let a = self.a.fork()?;
+        let b = self.b.fork()?;
+        Some(Box::new(Compose {
+            a,
+            b,
+            next_a: self.next_a,
+            next_b: self.next_b,
+        }))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        h.write_u8(5);
+        for next in [self.next_a, self.next_b] {
+            match next {
+                Some(t) => {
+                    h.write_bool(true);
+                    h.write_u64(t.as_ticks());
+                }
+                None => h.write_bool(false),
+            }
+        }
+        self.a.fingerprint(h) && self.b.fingerprint(h)
+    }
 }
 
 /// A scripted driver: an explicit list of `(time, action)` pairs, applied
@@ -408,6 +487,19 @@ impl ChurnDriver for Scripted {
         }
         let next = self.script.get(self.cursor).map(|(t, _)| *t);
         (actions, next)
+    }
+
+    fn fork(&self) -> Option<Box<dyn ChurnDriver>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        // The script itself is run configuration (identical across forks
+        // of one root); the cursor is the only mutable state.
+        h.write_u8(1);
+        h.write_usize(self.cursor);
+        h.write_usize(self.script.len());
+        true
     }
 }
 

@@ -14,7 +14,9 @@
 //! - [`event`] — the deterministic event queue;
 //! - [`metrics`] — run counters;
 //! - [`parallel`] — cross-seed parallel sweep execution (`DDS_THREADS`);
-//! - [`slots`] — dense identity-indexed kernel tables.
+//! - [`slots`] — dense identity-indexed kernel tables;
+//! - [`snapshot`] — stable state fingerprints for snapshot-forking
+//!   exploration.
 //!
 //! Determinism contract: a run is a pure function of the builder
 //! configuration and the seed. No wall clock, no OS randomness, no hash
@@ -57,6 +59,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod partition;
 pub mod slots;
+pub mod snapshot;
 pub mod world;
 
 pub use actor::{Actor, Context};

@@ -146,6 +146,40 @@ impl<T> SlotTable<T> {
         self.present = 0;
     }
 
+    /// Iterates every occupied slot as `(pid, value, present)` in identity
+    /// order — departed entries included (`present == false`), since their
+    /// retained state is observable through [`Self::get_any`] and so
+    /// belongs to a world's fingerprint.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (ProcessId, &T, bool)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, slot)| {
+            let pid = ProcessId::from_raw(i as u64);
+            match slot {
+                Slot::Present(v) => Some((pid, v, true)),
+                Slot::Departed(v) => Some((pid, v, false)),
+                Slot::Vacant => None,
+            }
+        })
+    }
+
+    /// Builds a copy of the table by mapping every occupied slot through
+    /// `f`, preserving the `Present`/`Departed` lifecycle. Returns `None`
+    /// as soon as `f` does — the all-or-nothing contract world forking
+    /// needs (a half-forked actor table would be unusable).
+    pub fn try_clone_with(&self, mut f: impl FnMut(&T) -> Option<T>) -> Option<SlotTable<T>> {
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            slots.push(match slot {
+                Slot::Vacant => Slot::Vacant,
+                Slot::Present(v) => Slot::Present(f(v)?),
+                Slot::Departed(v) => Slot::Departed(f(v)?),
+            });
+        }
+        Some(SlotTable {
+            slots,
+            present: self.present,
+        })
+    }
+
     /// Capacity of the backing slot storage, in slots. Kept across
     /// [`Self::clear`] — the reuse that [`crate::world::World::reset`]
     /// relies on.
@@ -347,6 +381,36 @@ mod tests {
         assert_eq!(t.get_any(pid(2)), None);
         t.insert(pid(0), 1);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_entries_spans_lifecycle_in_id_order() {
+        let mut t: SlotTable<u32> = SlotTable::new();
+        t.insert(pid(4), 40);
+        t.insert(pid(1), 10);
+        t.insert(pid(2), 20);
+        t.depart(pid(2));
+        let entries: Vec<(ProcessId, u32, bool)> =
+            t.iter_entries().map(|(p, &v, alive)| (p, v, alive)).collect();
+        assert_eq!(
+            entries,
+            vec![(pid(1), 10, true), (pid(2), 20, false), (pid(4), 40, true)]
+        );
+    }
+
+    #[test]
+    fn try_clone_with_preserves_lifecycle_and_is_all_or_nothing() {
+        let mut t: SlotTable<u32> = SlotTable::new();
+        t.insert(pid(0), 1);
+        t.insert(pid(2), 3);
+        t.depart(pid(2));
+        let copy = t.try_clone_with(|&v| Some(v * 10)).unwrap();
+        assert_eq!(copy.len(), 1);
+        assert_eq!(copy.get(pid(0)), Some(&10));
+        assert_eq!(copy.get_any(pid(2)), Some(&30));
+        assert!(!copy.contains(pid(2)));
+        // One unforkable entry poisons the whole copy.
+        assert!(t.try_clone_with(|&v| (v != 3).then_some(v)).is_none());
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! (neighbor up/down, starts) run as nested callbacks at the same instant.
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::rc::Rc;
 
 use dds_core::process::{IdSource, ProcessId};
 use dds_core::rng::Rng;
@@ -29,6 +31,7 @@ use crate::driver::{ChurnAction, ChurnDriver, NoChurn};
 use crate::event::{Event, EventQueue, ReadySummary, SchedulePolicy, TimerId};
 use crate::metrics::Metrics;
 use crate::slots::{DenseMap, SlotTable};
+use crate::snapshot::StableHasher;
 
 /// How the knowledge graph evolves when processes join and depart.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,8 +206,8 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             delay: self.delay,
             loss: self.loss,
             driver: self.driver,
-            spawn,
-            value_fn: self.value,
+            spawn: Rc::new(RefCell::new(spawn)),
+            value_fn: Rc::new(RefCell::new(self.value)),
             actors: SlotTable::new(),
             values: DenseMap::new(),
             members: Vec::new(),
@@ -290,8 +293,11 @@ pub struct World<M> {
     delay: DelayModel,
     loss: LossModel,
     driver: Box<dyn ChurnDriver>,
-    spawn: SpawnFn<M>,
-    value_fn: ValueFn,
+    /// Actor factory, shared (not cloned) with forks of this world: the
+    /// factory is run configuration, and `Rc` keeps forking O(live state).
+    spawn: Rc<RefCell<SpawnFn<M>>>,
+    /// Value function, shared with forks like `spawn`.
+    value_fn: Rc<RefCell<ValueFn>>,
     /// Dense identity-indexed actor table; present actors dispatch,
     /// departed ones are retained for post-run inspection.
     actors: SlotTable<Box<dyn Actor<M>>>,
@@ -346,9 +352,9 @@ impl<M: Clone + 'static> World<M> {
         self.trace
             .set_intent(intent.arrivals_finite, intent.concurrency_finite);
         for pid in initial.nodes() {
-            let value = (self.value_fn)(pid, &mut self.rng);
+            let value = (self.value_fn.borrow_mut())(pid, &mut self.rng);
             self.values.insert(pid, value);
-            let actor = (self.spawn)(pid);
+            let actor = (self.spawn.borrow_mut())(pid);
             self.actors.insert(pid, actor);
             self.trace.push(TraceEvent::Join { pid, at: Time::ZERO });
             self.metrics.joins += 1;
@@ -536,6 +542,157 @@ impl<M: Clone + 'static> World<M> {
         let Some((at, event)) = next else {
             return false;
         };
+        self.dispatch(at, event);
+        true
+    }
+
+    /// Dispatches the `n`-th ready event (seq order) at the earliest
+    /// pending instant, bypassing any installed [`SchedulePolicy`] — the
+    /// primitive a *forking* explorer drives choice points with, where the
+    /// explorer itself owns the decision instead of a replay policy.
+    /// Returns `false` when the queue is empty or `n` is out of range.
+    pub fn step_nth(&mut self, n: usize) -> bool {
+        let Some((at, event)) = self.queue.pop_nth(n) else {
+            return false;
+        };
+        self.dispatch(at, event);
+        true
+    }
+
+    /// Fills `out` with the ready set (every event pending at the
+    /// earliest instant, in seq order), returning that instant — the
+    /// inspection half of [`World::step_nth`].
+    pub fn ready_set(&mut self, out: &mut Vec<ReadySummary>) -> Option<Time> {
+        self.queue.ready_set(out)
+    }
+
+    /// The instant of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.queue.peek_time()
+    }
+
+    /// Advances the clock to `deadline` without dispatching anything —
+    /// the tail of [`World::run_until`], split out for explorers that
+    /// drive dispatch through [`World::step_nth`].
+    pub fn idle_until(&mut self, deadline: Time) {
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Snapshots this world into an independent copy that will replay the
+    /// exact same future for the same dispatch decisions, or `None` when
+    /// some component does not support forking (an actor or the churn
+    /// driver returned `None` from its `fork` hook, or a callback is
+    /// mid-flight).
+    ///
+    /// Cost is O(live state): present/departed actors, pending events,
+    /// graph adjacency, and the member/value tables are deep-copied; the
+    /// actor factory and value function are *shared* behind `Rc` (they are
+    /// immutable run configuration). Sinks and schedule policies are
+    /// run-scoped and not carried into the fork, mirroring
+    /// [`World::reset`]; a forking explorer drives the copy through
+    /// [`World::step_nth`] instead.
+    ///
+    /// The fork starts with an *empty* trace: the trace is an
+    /// observational accumulator that grows with every dispatch, so
+    /// copying it would make each fork O(events-so-far) instead of
+    /// O(live state), and nothing behavioral reads it (fingerprints
+    /// exclude it; checkers read actor state; counterexample dumps
+    /// replay the plan from scratch, which regenerates the full trace).
+    pub fn try_fork(&self) -> Option<World<M>> {
+        if !self.callbacks.is_empty() {
+            return None;
+        }
+        let driver = self.driver.fork()?;
+        let actors = self.actors.try_clone_with(|a| a.fork())?;
+        Some(World {
+            now: self.now,
+            queue: self.queue.clone(),
+            rng: self.rng.clone(),
+            ids: self.ids.clone(),
+            graph: self.graph.clone(),
+            policy: self.policy,
+            delay: self.delay,
+            loss: self.loss,
+            driver,
+            spawn: Rc::clone(&self.spawn),
+            value_fn: Rc::clone(&self.value_fn),
+            actors,
+            values: self.values.clone(),
+            members: self.members.clone(),
+            trace: Trace::new(),
+            metrics: self.metrics,
+            next_timer: self.next_timer,
+            callbacks: VecDeque::new(),
+            effect_buf: Vec::new(),
+            sink: None,
+            schedule_policy: None,
+            ready_buf: Vec::new(),
+            epoch: self.epoch,
+        })
+    }
+
+    /// Canonical fingerprint of the world's *behavioral* state, or `None`
+    /// when some actor or the churn driver does not support
+    /// fingerprinting.
+    ///
+    /// Two worlds with equal fingerprints are (up to hash collision)
+    /// indistinguishable to any future schedule: the hash covers the
+    /// clock, mutation epoch, timer counter, the raw RNG stream position
+    /// (two states that differ only in how many draws they consumed
+    /// diverge on the next draw, so the stream position *must* be
+    /// hashed), identity allocation, membership, graph adjacency, local
+    /// values (bit-exact), every actor slot including departed ones, the
+    /// driver, and the pending event set including its seq numbering.
+    /// Trace and metrics are deliberately excluded: they are
+    /// observational accumulators that cannot influence future behavior,
+    /// so deduplicating across them is what makes dedup useful — but it
+    /// means a pruned branch's trace/metrics are those of the first visit.
+    pub fn fingerprint(&self, msg_fp: fn(&M, &mut StableHasher)) -> Option<u64> {
+        let mut h = StableHasher::new();
+        h.write_u64(self.now.as_ticks());
+        h.write_u64(self.epoch);
+        h.write_u64(self.next_timer);
+        for w in self.rng.state_words() {
+            h.write_u64(w);
+        }
+        h.write_u64(self.ids.allocated());
+        h.write_usize(self.members.len());
+        for &pid in &self.members {
+            h.write_u64(pid.as_raw());
+        }
+        h.write_usize(self.graph.node_count());
+        for pid in self.graph.nodes() {
+            h.write_u64(pid.as_raw());
+            let nbrs = self.graph.neighbors(pid).unwrap_or(&[]);
+            h.write_usize(nbrs.len());
+            for &n in nbrs {
+                h.write_u64(n.as_raw());
+            }
+        }
+        for (pid, v) in self.values.iter() {
+            h.write_u64(pid.as_raw());
+            h.write_u64(v.to_bits());
+        }
+        for (pid, actor, present) in self.actors.iter_entries() {
+            h.write_u64(pid.as_raw());
+            h.write_bool(present);
+            if !actor.fingerprint(&mut h) {
+                return None;
+            }
+        }
+        if !self.driver.fingerprint(&mut h) {
+            return None;
+        }
+        self.queue.fingerprint(&mut h, msg_fp);
+        Some(h.finish())
+    }
+
+    /// Runs one popped event through the dispatch match and drains the
+    /// resulting callbacks — shared tail of [`World::step`] and
+    /// [`World::step_nth`].
+    fn dispatch(&mut self, at: Time, event: Event<M>) {
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         if self.sink.is_some() {
@@ -580,7 +737,6 @@ impl<M: Clone + 'static> World<M> {
             }
         }
         self.drain_callbacks();
-        true
     }
 
     /// Runs until the queue holds no event at or before `deadline`, then
@@ -654,7 +810,7 @@ impl<M: Clone + 'static> World<M> {
 
     fn admit(&mut self, pid: ProcessId, wiring: AdmitWiring) {
         self.epoch += 1;
-        let value = (self.value_fn)(pid, &mut self.rng);
+        let value = (self.value_fn.borrow_mut())(pid, &mut self.rng);
         self.values.insert(pid, value);
         let wired_to: Vec<ProcessId> = match wiring {
             AdmitWiring::Policy => self
@@ -676,7 +832,7 @@ impl<M: Clone + 'static> World<M> {
         if let Err(i) = self.members.binary_search(&pid) {
             self.members.insert(i, pid);
         }
-        let actor = (self.spawn)(pid);
+        let actor = (self.spawn.borrow_mut())(pid);
         self.actors.insert(pid, actor);
         self.trace.push(TraceEvent::Join { pid, at: self.now });
         self.metrics.joins += 1;
@@ -998,6 +1154,110 @@ mod tests {
             Some(2),
             "path stretched from 1 to 2"
         );
+    }
+
+    /// An [`Echo`] that opts into forking and fingerprinting.
+    #[derive(Clone)]
+    struct ForkEcho {
+        received: u32,
+    }
+
+    impl Actor<u32> for ForkEcho {
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, msg: u32) {
+            self.received += 1;
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+
+        fn fork(&self) -> Option<Box<dyn Actor<u32>>> {
+            Some(Box::new(self.clone()))
+        }
+
+        fn fingerprint(&self, h: &mut StableHasher) -> bool {
+            h.write_u32(self.received);
+            true
+        }
+    }
+
+    fn fork_echo_world(seed: u64) -> World<u32> {
+        WorldBuilder::new(seed)
+            .initial_graph(generate::ring(4))
+            .spawn(|_| Box::new(ForkEcho { received: 0 }))
+            .build()
+    }
+
+    #[test]
+    fn fork_replays_identical_future_and_fingerprints_agree() {
+        let fp = crate::snapshot::fingerprint_msg::<u32>;
+        let mut w = fork_echo_world(11);
+        w.inject(Time::from_ticks(1), ProcessId::from_raw(0), 12);
+        for _ in 0..4 {
+            assert!(w.step());
+        }
+        let mut f = w.try_fork().expect("every component supports forking");
+        assert_eq!(w.fingerprint(fp), f.fingerprint(fp));
+        w.run_to_quiescence();
+        f.run_to_quiescence();
+        assert_eq!(w.fingerprint(fp), f.fingerprint(fp));
+        assert_eq!(w.now(), f.now());
+        assert_eq!(w.metrics().delivers, f.metrics().delivers);
+        let a: &ForkEcho = w.actor(ProcessId::from_raw(0)).unwrap();
+        let b: &ForkEcho = f.actor(ProcessId::from_raw(0)).unwrap();
+        assert_eq!(a.received, b.received);
+    }
+
+    #[test]
+    fn fork_is_independent_of_the_original() {
+        let mut w = fork_echo_world(12);
+        w.inject(Time::from_ticks(1), ProcessId::from_raw(0), 6);
+        let f = w.try_fork().unwrap();
+        let pending_before = f.peek_time();
+        w.run_to_quiescence();
+        // The fork still holds its own pending event and zero deliveries.
+        assert_eq!(f.peek_time(), pending_before);
+        assert_eq!(f.metrics().delivers, 0);
+        assert!(w.metrics().delivers > 0);
+    }
+
+    #[test]
+    fn fingerprint_diverges_after_dispatch_and_gates_on_support() {
+        let fp = crate::snapshot::fingerprint_msg::<u32>;
+        let mut w = fork_echo_world(13);
+        w.inject(Time::from_ticks(1), ProcessId::from_raw(0), 3);
+        let before = w.fingerprint(fp).expect("supported");
+        assert_eq!(
+            before,
+            w.fingerprint(fp).unwrap(),
+            "fingerprinting is read-only and stable"
+        );
+        assert!(w.step());
+        assert_ne!(before, w.fingerprint(fp).unwrap());
+        // `Echo` opts out of both hooks: no fingerprint, no fork.
+        let e = echo_world(1);
+        assert_eq!(e.fingerprint(fp), None);
+        assert!(e.try_fork().is_none());
+    }
+
+    #[test]
+    fn step_nth_zero_matches_default_dispatch_order() {
+        let drive = |nth: bool| {
+            let mut w = fork_echo_world(14);
+            w.inject(Time::from_ticks(1), ProcessId::from_raw(0), 9);
+            w.inject(Time::from_ticks(1), ProcessId::from_raw(2), 4);
+            if nth {
+                let mut ready = Vec::new();
+                while w.ready_set(&mut ready).is_some() {
+                    assert!(!ready.is_empty());
+                    assert!(w.step_nth(0));
+                }
+            } else {
+                w.run_to_quiescence();
+            }
+            let fp = crate::snapshot::fingerprint_msg::<u32>;
+            (w.fingerprint(fp).unwrap(), *w.metrics(), w.now())
+        };
+        assert_eq!(drive(false), drive(true));
     }
 
     /// An actor that leaves as soon as it receives any message.

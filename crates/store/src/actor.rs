@@ -41,7 +41,9 @@ use dds_core::time::{Time, TimeDelta};
 use dds_sim::actor::{Actor, Context};
 use dds_sim::event::TimerId;
 
-use crate::msg::{OpTag, Stamp, StoreMsg};
+use dds_sim::snapshot::StableHasher;
+
+use crate::msg::{fp_opt_u64, fp_pids, fp_reg_op, fp_stamp, fp_tag, OpTag, Stamp, StoreMsg};
 use crate::quorum::{majority, QuorumView};
 
 /// Static parameters of a storage deployment (same for every process).
@@ -171,7 +173,7 @@ struct RecState {
 }
 
 /// One storage process. See the module docs for the protocol.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StoreActor {
     params: StoreParams,
 
@@ -690,7 +692,128 @@ impl StoreActor {
     }
 }
 
+impl StoreActor {
+    /// Absorbs one logged operation into a fingerprint.
+    fn fp_logged(op: &LoggedStoreOp, h: &mut StableHasher) {
+        fp_reg_op(&op.op, h);
+        h.write_u64(op.invoked.as_ticks());
+        match op.responded {
+            Some(t) => {
+                h.write_u8(1);
+                h.write_u64(t.as_ticks());
+            }
+            None => h.write_u8(0),
+        }
+        match op.response {
+            Some(RegResp::Value(v)) => {
+                h.write_u8(1);
+                fp_opt_u64(&v, h);
+            }
+            Some(RegResp::Ack) => h.write_u8(2),
+            None => h.write_u8(0),
+        }
+        h.write_u32(op.attempts);
+        h.write_bool(op.aborted);
+    }
+}
+
 impl Actor<StoreMsg> for StoreActor {
+    fn fork(&self) -> Option<Box<dyn Actor<StoreMsg>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn fingerprint(&self, h: &mut StableHasher) -> bool {
+        // `params` is immutable run configuration — identical in every
+        // state of one exploration — so it stays out of the hash. Every
+        // mutable field is included, `log`/`quorums_used`/`stats` too:
+        // the final-state checks read them, so two states differing only
+        // there must not be identified.
+        h.write_u64(self.epoch);
+        fp_pids(&self.members, h);
+        h.write_u64(self.promised);
+        fp_pids(&self.promised_members, h);
+        h.write_bool(self.was_replica);
+        fp_stamp(&self.stamp, h);
+        fp_opt_u64(&self.value, h);
+        h.write_usize(self.last_heard.len());
+        for (pid, t) in &self.last_heard {
+            h.write_u64(pid.as_raw());
+            h.write_u64(t.as_ticks());
+        }
+        fp_pids(&self.candidates, h);
+        match &self.rec {
+            Some(rec) => {
+                h.write_u8(1);
+                h.write_u64(rec.epoch);
+                fp_pids(&rec.members, h);
+                h.write_u64(rec.base);
+                h.write_usize(rec.needed);
+                h.write_usize(rec.acks);
+                fp_stamp(&rec.stamp, h);
+                fp_opt_u64(&rec.value, h);
+                h.write_u64(rec.started.as_ticks());
+            }
+            None => h.write_u8(0),
+        }
+        match self.probe_timer {
+            Some(id) => {
+                h.write_u8(1);
+                h.write_u64(id.as_raw());
+            }
+            None => h.write_u8(0),
+        }
+        h.write_usize(self.epoch_log.len());
+        for (t, e) in &self.epoch_log {
+            h.write_u64(t.as_ticks());
+            h.write_u64(*e);
+        }
+        h.write_u64(self.view.epoch);
+        fp_pids(&self.view.members, h);
+        h.write_u64(self.view.refreshed_at.as_ticks());
+        h.write_usize(self.queue.len());
+        for op in &self.queue {
+            fp_reg_op(op, h);
+        }
+        match &self.cur {
+            Some(p) => {
+                h.write_u8(1);
+                fp_reg_op(&p.op, h);
+                fp_tag(&p.tag, h);
+                h.write_u64(p.invoked.as_ticks());
+                h.write_u8(match p.phase {
+                    Phase::Refresh => 0,
+                    Phase::Query => 1,
+                    Phase::Store => 2,
+                });
+                fp_stamp(&p.best_stamp, h);
+                fp_opt_u64(&p.best_value, h);
+                fp_stamp(&p.store_stamp, h);
+                fp_opt_u64(&p.store_value, h);
+                h.write_usize(p.acks);
+                h.write_u64(p.timer.as_raw());
+            }
+            None => h.write_u8(0),
+        }
+        h.write_u64(self.next_op_seq);
+        h.write_usize(self.log.len());
+        for op in &self.log {
+            Self::fp_logged(op, h);
+        }
+        h.write_usize(self.quorums_used.len());
+        for q in &self.quorums_used {
+            h.write_u64(*q);
+        }
+        h.write_u64(self.stats.completed);
+        h.write_u64(self.stats.aborted);
+        h.write_u64(self.stats.retries);
+        h.write_u64(self.stats.fenced_nacks);
+        h.write_u64(self.stats.reconfigs_started);
+        h.write_u64(self.stats.reconfigs_committed);
+        h.write_u64(self.stats.reconfigs_cancelled);
+        h.write_u64(self.stats.migrations);
+        true
+    }
+
     fn on_start(&mut self, ctx: &mut Context<'_, StoreMsg>) {
         let me = ctx.pid();
         self.view.refreshed_at = ctx.now();

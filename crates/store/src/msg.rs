@@ -2,6 +2,7 @@
 
 use dds_core::process::ProcessId;
 use dds_core::spec::register::RegOp;
+use dds_sim::snapshot::{FingerprintMsg, StableHasher};
 
 /// A write timestamp: totally ordered by `(seq, writer)`, so concurrent
 /// writers with the same sequence number are broken by identity — the
@@ -173,6 +174,150 @@ pub enum StoreMsg {
         /// Echo of the adopted epoch.
         epoch: u64,
     },
+}
+
+pub(crate) fn fp_stamp(s: &Stamp, h: &mut StableHasher) {
+    h.write_u64(s.seq);
+    h.write_u64(s.writer);
+}
+
+pub(crate) fn fp_tag(t: &OpTag, h: &mut StableHasher) {
+    h.write_u64(t.seq);
+    h.write_u32(t.attempt);
+}
+
+pub(crate) fn fp_pids(pids: &[ProcessId], h: &mut StableHasher) {
+    h.write_usize(pids.len());
+    for p in pids {
+        h.write_u64(p.as_raw());
+    }
+}
+
+pub(crate) fn fp_opt_u64(v: &Option<u64>, h: &mut StableHasher) {
+    match v {
+        Some(x) => {
+            h.write_u8(1);
+            h.write_u64(*x);
+        }
+        None => h.write_u8(0),
+    }
+}
+
+pub(crate) fn fp_reg_op(op: &RegOp, h: &mut StableHasher) {
+    match op {
+        RegOp::Read => h.write_u8(0),
+        RegOp::Write(v) => {
+            h.write_u8(1);
+            h.write_u64(*v);
+        }
+    }
+}
+
+/// Canonical injective encoding of a message for world fingerprints: a
+/// variant tag followed by every field, length-prefixing the lists.
+impl FingerprintMsg for StoreMsg {
+    fn fingerprint(&self, h: &mut StableHasher) {
+        match self {
+            StoreMsg::Invoke(op) => {
+                h.write_u8(0);
+                fp_reg_op(op, h);
+            }
+            StoreMsg::Reconfigure { members } => {
+                h.write_u8(1);
+                fp_pids(members, h);
+            }
+            StoreMsg::Query { tag, epoch } => {
+                h.write_u8(2);
+                fp_tag(tag, h);
+                h.write_u64(*epoch);
+            }
+            StoreMsg::Store {
+                tag,
+                epoch,
+                stamp,
+                value,
+            } => {
+                h.write_u8(3);
+                fp_tag(tag, h);
+                h.write_u64(*epoch);
+                fp_stamp(stamp, h);
+                fp_opt_u64(value, h);
+            }
+            StoreMsg::ViewReq => h.write_u8(4),
+            StoreMsg::QueryAck { tag, stamp, value } => {
+                h.write_u8(5);
+                fp_tag(tag, h);
+                fp_stamp(stamp, h);
+                fp_opt_u64(value, h);
+            }
+            StoreMsg::StoreAck { tag } => {
+                h.write_u8(6);
+                fp_tag(tag, h);
+            }
+            StoreMsg::Fenced {
+                tag,
+                epoch,
+                members,
+            } => {
+                h.write_u8(7);
+                fp_tag(tag, h);
+                h.write_u64(*epoch);
+                fp_pids(members, h);
+            }
+            StoreMsg::ViewRep { epoch, members } => {
+                h.write_u8(8);
+                h.write_u64(*epoch);
+                fp_pids(members, h);
+            }
+            StoreMsg::Announce => h.write_u8(9),
+            StoreMsg::Announce2 { joiner } => {
+                h.write_u8(10);
+                h.write_u64(joiner.as_raw());
+            }
+            StoreMsg::Probe { epoch } => {
+                h.write_u8(11);
+                h.write_u64(*epoch);
+            }
+            StoreMsg::ProbeAck { epoch, candidates } => {
+                h.write_u8(12);
+                h.write_u64(*epoch);
+                fp_pids(candidates, h);
+            }
+            StoreMsg::RecQuery { epoch, members } => {
+                h.write_u8(13);
+                h.write_u64(*epoch);
+                fp_pids(members, h);
+            }
+            StoreMsg::RecAck {
+                epoch,
+                base,
+                stamp,
+                value,
+            } => {
+                h.write_u8(14);
+                h.write_u64(*epoch);
+                h.write_u64(*base);
+                fp_stamp(stamp, h);
+                fp_opt_u64(value, h);
+            }
+            StoreMsg::Migrate {
+                epoch,
+                members,
+                stamp,
+                value,
+            } => {
+                h.write_u8(15);
+                h.write_u64(*epoch);
+                fp_pids(members, h);
+                fp_stamp(stamp, h);
+                fp_opt_u64(value, h);
+            }
+            StoreMsg::MigrateAck { epoch } => {
+                h.write_u8(16);
+                h.write_u64(*epoch);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
