@@ -27,7 +27,7 @@ fn churn_queue(mut queue: EventQueue<u64>, horizon: u64) -> Time {
     for i in 0..POPULATION {
         queue.schedule(
             Time::from_ticks(1 + i * horizon / POPULATION),
-            Event::Deliver { from: pid, to: pid, sent: now, msg: i },
+            Event::Deliver { from: pid, to: pid, sent: now, msg: i, cause: 0 },
         );
     }
     for i in 0..OPS {
@@ -36,7 +36,7 @@ fn churn_queue(mut queue: EventQueue<u64>, horizon: u64) -> Time {
         black_box(event);
         queue.schedule(
             now + TimeDelta::ticks(1 + (i * 7) % horizon),
-            Event::Deliver { from: pid, to: pid, sent: now, msg: i },
+            Event::Deliver { from: pid, to: pid, sent: now, msg: i, cause: 0 },
         );
     }
     now

@@ -14,18 +14,25 @@
 //! arguments.
 //!
 //! With `--json <file>` a summary document in the `BENCH_sweeps.json`
-//! style is written there; it contains no wall-clock fields, so reruns —
-//! at any `DDS_THREADS` — are byte-identical (CI diffs two of them).
-//! Throughput (`states/sec`) goes to stderr only, for the same reason.
-//! With `--dump-dir <dir>` every counterexample is replayed once more and
-//! its event history dumped as `<dir>/<target>.jsonl` flight-recorder
-//! JSONL.
+//! style is written there; every field except the single-line `"timing"`
+//! sub-object is deterministic, so reruns — at any `DDS_THREADS` — are
+//! byte-identical once that one line is stripped (CI diffs two of them
+//! through `sed '/"timing"/d'`). Throughput (`states/sec`) and progress
+//! lines go to stderr only, for the same reason. With `--dump-dir <dir>`
+//! every counterexample is replayed once more and its event history
+//! dumped as `<dir>/<target>.jsonl` flight-recorder JSONL, with the
+//! witness's minimal happened-before chain next to it as
+//! `<dir>/<target>_chain.jsonl`. With `--telemetry <file>` the explorer's
+//! periodic progress samples (integer fields only — deterministic at any
+//! thread count) are appended there as JSONL.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use dds_check::mutants::suite;
-use dds_check::{configured_explore_mode, explore_parallel, fuzz, Budget, Counterexample};
+use dds_check::{
+    configured_explore_mode, explore_parallel, fuzz, Budget, Counterexample, ProgressSample,
+};
 
 struct Row {
     name: String,
@@ -38,6 +45,7 @@ struct Row {
     fuzz_runs: usize,
     exhausted: bool,
     counterexample: Option<Counterexample>,
+    progress: Vec<ProgressSample>,
 }
 
 impl Row {
@@ -49,6 +57,7 @@ impl Row {
 fn main() {
     let mut json: Option<PathBuf> = None;
     let mut dump_dir: Option<PathBuf> = None;
+    let mut telemetry: Option<PathBuf> = None;
     let mut budget = Budget::default();
     let mut fuzz_attempts = 200usize;
     let mut seed = 1u64;
@@ -65,6 +74,7 @@ fn main() {
         match raw[i].as_str() {
             "--json" => json = Some(PathBuf::from(need(&mut i))),
             "--dump-dir" => dump_dir = Some(PathBuf::from(need(&mut i))),
+            "--telemetry" => telemetry = Some(PathBuf::from(need(&mut i))),
             "--max-runs" => budget.max_runs = parse(&need(&mut i)),
             "--max-preemptions" => budget.max_preemptions = parse(&need(&mut i)),
             "--fuzz-attempts" => fuzz_attempts = parse(&need(&mut i)),
@@ -103,6 +113,7 @@ fn main() {
             fuzz_runs: 0,
             exhausted: explored.exhausted,
             counterexample: explored.counterexample,
+            progress: explored.progress,
         };
         // Wall-clock-derived, so stderr only: stdout and the JSON document
         // stay byte-identical across thread counts and machine speeds.
@@ -113,6 +124,16 @@ fn main() {
                 row.states_explored as f64 / target_secs
             );
         }
+        for s in &row.progress {
+            eprintln!(
+                "{:28} progress: {} runs, frontier depth {}, {} states, dedup ratio {:.2}",
+                row.name,
+                s.runs,
+                s.frontier_depth,
+                s.states_explored,
+                s.dedup_ratio()
+            );
+        }
         // Mutants the bounded explorer misses get the deep random pass.
         if subject.expect_violation && row.counterexample.is_none() {
             let out = fuzz(target.as_mut(), seed, fuzz_attempts, 2 * budget.max_depth);
@@ -121,24 +142,40 @@ fn main() {
             row.counterexample = out.counterexample;
         }
         if let (Some(dir), Some(ce)) = (&dump_dir, &row.counterexample) {
-            let file = dir.join(format!("{}.jsonl", row.name.replace('/', "_")));
+            let stem = row.name.replace('/', "_");
+            let file = dir.join(format!("{stem}.jsonl"));
             target.dump_counterexample(&ce.plan, &file, &ce.violation.reason);
             eprintln!("wrote {}", file.display());
+            let chain = dir.join(format!("{stem}_chain.jsonl"));
+            target.dump_causal_chain(&ce.plan, &chain, &ce.violation.reason);
+            if chain.exists() {
+                eprintln!("wrote {}", chain.display());
+            }
         }
         report(&row);
         rows.push(row);
     }
 
     let all_ok = rows.iter().all(Row::ok);
+    let total_secs = start.elapsed().as_secs_f64();
     eprintln!(
         "checked {} targets ({} mode) in {:.1} ms: {}",
         rows.len(),
         configured_explore_mode().label(),
-        start.elapsed().as_secs_f64() * 1e3,
+        total_secs * 1e3,
         if all_ok { "all verdicts as expected" } else { "VERDICT MISMATCH" }
     );
+    if let Some(path) = &telemetry {
+        match std::fs::write(path, render_telemetry(&rows)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!("cannot write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
     if let Some(path) = &json {
-        match std::fs::write(path, render_json(&rows, budget, all_ok)) {
+        match std::fs::write(path, render_json(&rows, budget, all_ok, total_secs)) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(err) => {
                 eprintln!("cannot write {}: {err}", path.display());
@@ -190,11 +227,40 @@ fn report(row: &Row) {
     }
 }
 
+/// The explorer's periodic progress samples as JSONL, one line per
+/// sample. Integer fields only and no wall clock: the file is a pure
+/// function of the explored trees, byte-identical at any `DDS_THREADS`.
+fn render_telemetry(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        for s in &r.progress {
+            out.push_str(&format!(
+                "{{\"t\":\"progress\",\"target\":\"{}\",\"runs\":{},\"states_explored\":{},\
+\"dedup_hits\":{},\"forks\":{},\"frontier_depth\":{}}}\n",
+                r.name, s.runs, s.states_explored, s.dedup_hits, s.forks, s.frontier_depth
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"t\":\"explored\",\"target\":\"{}\",\"runs\":{},\"states_explored\":{},\
+\"dedup_hits\":{},\"forks\":{},\"exhausted\":{}}}\n",
+            r.name, r.explore_runs, r.states_explored, r.dedup_hits, r.forks, r.exhausted
+        ));
+    }
+    out
+}
+
 /// Summary JSON in the `BENCH_sweeps.json` style: hand-rolled, numeric or
-/// known-safe strings only, and — deliberately — no timing fields, so the
-/// document is byte-identical across reruns and thread counts.
-fn render_json(rows: &[Row], budget: Budget, all_ok: bool) -> String {
+/// known-safe strings only. Every field is deterministic except the
+/// `"timing"` sub-object, which is kept on one line of its own so
+/// byte-identity consumers can drop it with `sed '/"timing"/d'`.
+fn render_json(rows: &[Row], budget: Budget, all_ok: bool, total_secs: f64) -> String {
     let mut out = String::from("{\n");
+    let states: usize = rows.iter().map(|r| r.states_explored).sum();
+    out.push_str(&format!(
+        "  \"timing\": {{\"total_ms\": {:.1}, \"states_per_sec\": {:.0}}},\n",
+        total_secs * 1e3,
+        if total_secs > 0.0 { states as f64 / total_secs } else { 0.0 }
+    ));
     out.push_str(&format!(
         "  \"max_runs\": {}, \"max_depth\": {}, \"max_preemptions\": {}, \"ok\": {},\n  \"targets\": [\n",
         budget.max_runs, budget.max_depth, budget.max_preemptions, all_ok

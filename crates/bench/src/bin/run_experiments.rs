@@ -6,11 +6,13 @@
 //! With `--json`, per-experiment records are additionally written to
 //! `BENCH_sweeps.json` in the current directory: elapsed milliseconds,
 //! total simulated runs and runs-per-second throughput, merged kernel
-//! counters, and the pooled p50/p99 delivery-latency and event-queue-depth
-//! percentiles, plus the thread count the sweep pool used (`DDS_THREADS`)
-//! and the event-queue implementation (`DDS_QUEUE`). Everything except the
-//! wall-clock fields is byte-identical across thread counts and queue
-//! implementations.
+//! counters, the pooled p50/p99 delivery-latency and event-queue-depth
+//! percentiles, and the critical-path decomposition (pooled p50/p99 total
+//! plus summed transit/queueing/processing ticks from the kernel's
+//! happened-before annotations), plus the thread count the sweep pool used
+//! (`DDS_THREADS`) and the event-queue implementation (`DDS_QUEUE`).
+//! Everything except the wall-clock fields is byte-identical across
+//! thread counts and queue implementations.
 //!
 //! With `--baseline <file>`, each experiment's `runs_per_sec` is compared
 //! against the record of the same id in a previously written
@@ -53,6 +55,11 @@ struct Record {
     p99_delivery_latency: u64,
     p50_queue_depth: u64,
     p99_queue_depth: u64,
+    p50_critical_path: u64,
+    p99_critical_path: u64,
+    crit_transit: u64,
+    crit_queueing: u64,
+    crit_processing: u64,
 }
 
 impl Record {
@@ -131,6 +138,11 @@ fn main() {
             p99_delivery_latency: e.latency.percentile(99.0),
             p50_queue_depth: e.queue_depth.percentile(50.0),
             p99_queue_depth: e.queue_depth.percentile(99.0),
+            p50_critical_path: e.critical.percentile(50.0),
+            p99_critical_path: e.critical.percentile(99.0),
+            crit_transit: e.crit_transit,
+            crit_queueing: e.crit_queueing,
+            crit_processing: e.crit_processing,
         });
     }
     if records.is_empty() {
@@ -281,7 +293,9 @@ fn render_json(records: &[Record]) -> String {
         out.push_str(&format!(
             "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.1}, \
 \"p50_delivery_latency\": {}, \"p99_delivery_latency\": {}, \
-\"p50_queue_depth\": {}, \"p99_queue_depth\": {}, \"metrics\": {}}}{}\n",
+\"p50_queue_depth\": {}, \"p99_queue_depth\": {}, \
+\"p50_critical_path\": {}, \"p99_critical_path\": {}, \
+\"crit_transit\": {}, \"crit_queueing\": {}, \"crit_processing\": {}, \"metrics\": {}}}{}\n",
             r.id,
             r.wall_ms,
             r.runs,
@@ -290,6 +304,11 @@ fn render_json(records: &[Record]) -> String {
             r.p99_delivery_latency,
             r.p50_queue_depth,
             r.p99_queue_depth,
+            r.p50_critical_path,
+            r.p99_critical_path,
+            r.crit_transit,
+            r.crit_queueing,
+            r.crit_processing,
             r.metrics.to_json(),
             if i + 1 < records.len() { "," } else { "" }
         ));

@@ -55,6 +55,15 @@ pub struct Experiment {
     pub latency: Histogram,
     /// Event-queue depth pooled over every observed run.
     pub queue_depth: Histogram,
+    /// Critical-path total latency pooled over every sweep run (from the
+    /// kernel's happened-before annotations; see `dds_obs::causal`).
+    pub critical: Histogram,
+    /// Summed critical-path ticks spent in message flight.
+    pub crit_transit: u64,
+    /// Summed critical-path ticks spent waiting on timers.
+    pub crit_queueing: u64,
+    /// Summed critical-path ticks of local processing.
+    pub crit_processing: u64,
 }
 
 impl Experiment {
@@ -68,6 +77,10 @@ impl Experiment {
             extra_metrics: Metrics::default(),
             latency: Histogram::new(),
             queue_depth: Histogram::new(),
+            critical: Histogram::new(),
+            crit_transit: 0,
+            crit_queueing: 0,
+            crit_processing: 0,
         }
     }
 
@@ -97,6 +110,10 @@ impl Experiment {
         for run in &runs {
             self.latency.merge(&run.obs.delivery_latency);
             self.queue_depth.merge(&run.obs.queue_depth);
+            self.critical.record(run.critical.total);
+            self.crit_transit += run.critical.transit;
+            self.crit_queueing += run.critical.queueing;
+            self.crit_processing += run.critical.processing;
         }
         let row = fold_sweep(&runs);
         self.rows.insert(label.into(), row);
@@ -936,6 +953,97 @@ record's states/sec)"
     e
 }
 
+/// OBS1 — observability overhead: the identical workload with no sink,
+/// with the full [`dds_obs::ObserverSink`], and with the causal-skeleton
+/// [`dds_obs::CausalLog`] only.
+///
+/// The sink-less pass pins the hot path the `noop_alloc` test protects;
+/// the record's combined `runs_per_sec` is what the `--baseline` exit-3
+/// gate tracks, so an instrumentation slowdown in *either* variant trips
+/// the same alarm as a kernel regression. The printed table keeps only
+/// deterministic counters (events observed, DAG shape); the measured
+/// sink-on/sink-off ratio goes to stderr.
+pub fn obs1_overhead() -> Experiment {
+    use dds_obs::{CausalLog, ObserverSink};
+    use dds_protocols::membership::{HeartbeatActor, HeartbeatMsg};
+    use dds_sim::world::{World, WorldBuilder};
+    use std::time::Instant;
+
+    let mut e = Experiment::new(
+        "OBS1",
+        "observability: sink overhead on the dispatch hot path",
+    );
+    const RUNS: u64 = 40;
+    let deadline = Time::from_ticks(400);
+    let build = |seed: u64| -> World<HeartbeatMsg> {
+        WorldBuilder::new(seed)
+            .initial_graph(generate::ring(16))
+            .spawn(|_| {
+                Box::new(HeartbeatActor::new(TimeDelta::ticks(2), TimeDelta::ticks(7)))
+            })
+            .build()
+    };
+    let _ = writeln!(
+        e.table,
+        "{:<10} {:>8} {:>10} {:>12} {:>10}",
+        "sink", "runs", "sends", "observed", "dag depth"
+    );
+    let mut wall = Vec::new();
+    for variant in ["none", "observer", "causal"] {
+        let start = Instant::now();
+        let mut sends = 0u64;
+        let mut observed = 0u64;
+        let mut dag_depth = 0usize;
+        for seed in 0..RUNS {
+            let mut world = build(seed);
+            match variant {
+                "observer" => world.set_sink(ObserverSink::default()),
+                "causal" => world.set_sink(CausalLog::default()),
+                _ => {}
+            }
+            world.run_until(deadline);
+            sends += world.metrics().sends;
+            if let Some(sink) = world.take_sink() {
+                match sink.into_any().downcast::<CausalLog>() {
+                    Ok(log) => {
+                        observed += log.len() as u64;
+                        dag_depth = dag_depth.max(log.dag().depth());
+                    }
+                    Err(sink) => {
+                        if let Ok(obs) = sink.downcast::<ObserverSink>() {
+                            observed += obs.report.events;
+                        }
+                    }
+                }
+            }
+            e.extra_runs += 1;
+            e.extra_metrics.merge(world.metrics());
+        }
+        wall.push((variant, start.elapsed().as_secs_f64()));
+        let _ = writeln!(
+            e.table,
+            "{:<10} {:>8} {:>10} {:>12} {:>10}",
+            variant, RUNS, sends, observed, dag_depth
+        );
+    }
+    let _ = writeln!(
+        e.table,
+        "(same seeds, same kernel events in all three passes: sinks observe the run \
+without perturbing it; BENCH_sweeps.json gates the combined runs/sec)"
+    );
+    if let [(_, none), (_, obs), (_, causal)] = wall[..] {
+        eprintln!(
+            "OBS1: no sink {:.1} ms, observer {:.1} ms ({:.2}x), causal {:.1} ms ({:.2}x)",
+            none * 1e3,
+            obs * 1e3,
+            obs / none.max(1e-9),
+            causal * 1e3,
+            causal / none.max(1e-9)
+        );
+    }
+    e
+}
+
 /// A lazy experiment constructor.
 pub type ExperimentFn = fn() -> Experiment;
 
@@ -958,6 +1066,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("a4", a4_membership),
         ("s1", s1_store),
         ("check1", check1_explore),
+        ("obs1", obs1_overhead),
     ]
 }
 

@@ -1,26 +1,41 @@
 //! End-to-end test for `run_check`: the whole validation suite passes
 //! within the default CI budget, and its JSON summary — which embeds
-//! every counterexample's shape — is byte-identical across thread counts,
-//! i.e. counterexamples replay deterministically.
+//! every counterexample's shape — is byte-identical across thread counts
+//! once the single-line `"timing"` sub-object (the one wall-clock field)
+//! is stripped, i.e. counterexamples replay deterministically. The
+//! `--telemetry` progress JSONL carries integer fields only, so it must
+//! compare equal without any stripping.
 
 use std::path::Path;
 use std::process::Command;
 
-fn run_check(threads: &str, json: &Path) -> std::process::Output {
+fn run_check(threads: &str, json: &Path, telemetry: &Path) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_run_check"))
         .args(["--json", json.to_str().unwrap()])
+        .args(["--telemetry", telemetry.to_str().unwrap()])
         .env("DDS_THREADS", threads)
         .output()
         .expect("run_check must start")
 }
 
+/// Drops the wall-clock line the same way CI does: `sed '/"timing"/d'`.
+fn strip_timing(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.contains("\"timing\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 #[test]
 fn suite_verdicts_replay_byte_identically_across_thread_counts() {
     let dir = std::env::temp_dir();
-    let a = dir.join(format!("dds_check_t1_{}.json", std::process::id()));
-    let b = dir.join(format!("dds_check_t8_{}.json", std::process::id()));
-    let out1 = run_check("1", &a);
-    let out8 = run_check("8", &b);
+    let pid = std::process::id();
+    let a = dir.join(format!("dds_check_t1_{pid}.json"));
+    let b = dir.join(format!("dds_check_t8_{pid}.json"));
+    let ta = dir.join(format!("dds_check_t1_{pid}.telemetry.jsonl"));
+    let tb = dir.join(format!("dds_check_t8_{pid}.telemetry.jsonl"));
+    let out1 = run_check("1", &a, &ta);
+    let out8 = run_check("8", &b, &tb);
     assert_eq!(
         out1.status.code(),
         Some(0),
@@ -30,12 +45,29 @@ fn suite_verdicts_replay_byte_identically_across_thread_counts() {
     assert_eq!(out8.status.code(), Some(0));
     let j1 = std::fs::read_to_string(&a).expect("summary written");
     let j8 = std::fs::read_to_string(&b).expect("summary written");
-    std::fs::remove_file(&a).ok();
-    std::fs::remove_file(&b).ok();
-    assert_eq!(j1, j8, "summaries must be byte-identical");
+    let tel1 = std::fs::read_to_string(&ta).expect("telemetry written");
+    let tel8 = std::fs::read_to_string(&tb).expect("telemetry written");
+    for f in [&a, &b, &ta, &tb] {
+        std::fs::remove_file(f).ok();
+    }
+    assert!(
+        j1.contains("\"timing\""),
+        "summary must record wall-clock timing on its strippable line"
+    );
+    assert_eq!(
+        strip_timing(&j1),
+        strip_timing(&j8),
+        "summaries must be byte-identical modulo the timing line"
+    );
     assert!(j1.contains("\"ok\": true"), "suite must be green: {j1}");
     // Every mutant caught, every correct target clean.
     assert!(!j1.contains("\"ok\": false"));
+    // The progress telemetry is integer-only — identical with no strip.
+    assert_eq!(tel1, tel8, "progress telemetry must be thread-count invariant");
+    assert!(
+        tel1.lines().any(|l| l.contains("\"t\":\"explored\"")),
+        "telemetry must carry one explored line per target"
+    );
     // stdout (per-target lines) is deterministic too.
     assert_eq!(
         String::from_utf8_lossy(&out1.stdout),

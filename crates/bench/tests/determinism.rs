@@ -61,10 +61,27 @@ fn tables_are_identical_across_thread_counts() {
         cap_seq, cap_par,
         "E2 JSONL traces / flight dumps changed with thread count"
     );
+    // The captured traces carry the kernel's causal annotations, so the
+    // byte-identity assertions above also pin the id/cause assignment:
+    // event ids are a pure function of the run, never of the observer,
+    // the thread count, or the queue implementation.
+    assert!(
+        cap_seq.traces.iter().any(|t| t.contains("\"cause\":")),
+        "E2 traces carry no causal annotations — byte-identity is vacuous"
+    );
     // Pooled observability histograms fold in the same order as rows.
     assert_eq!(
         e2_seq.latency, e2_par.latency,
         "E2 latency histogram changed with thread count"
+    );
+    assert_eq!(
+        e2_seq.critical, e2_par.critical,
+        "E2 critical-path histogram changed with thread count"
+    );
+    assert_eq!(
+        (e2_seq.crit_transit, e2_seq.crit_queueing, e2_seq.crit_processing),
+        (e2_par.crit_transit, e2_par.crit_queueing, e2_par.crit_processing),
+        "E2 critical-path decomposition changed with thread count"
     );
     assert_eq!(
         e2_seq.queue_depth, e2_par.queue_depth,

@@ -65,6 +65,45 @@ pub fn configured_explore_mode() -> ExploreMode {
     }
 }
 
+/// Runs between two [`ProgressSample`]s. Coarse enough that sampling is
+/// free next to target execution, fine enough that a default budget
+/// (512 runs) still yields a couple of points per shard.
+pub const PROGRESS_INTERVAL: usize = 256;
+
+/// A snapshot of the explorer's work counters, taken every
+/// [`PROGRESS_INTERVAL`] runs along the walk.
+///
+/// Every field is a pure function of the explored tree — no wall-clock,
+/// no thread ids — so the sample vector is byte-identical at any
+/// `DDS_THREADS` value (shards are structure-determined and samples
+/// merge in shard order). Consumers that want timestamps attach them at
+/// emission time, on stderr or in a side-channel file, never in the
+/// checker's canonical JSON output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSample {
+    /// Runs consumed when the sample was taken.
+    pub runs: usize,
+    /// Choice-point states expanded so far.
+    pub states_explored: usize,
+    /// Dedup prunes so far.
+    pub dedup_hits: usize,
+    /// Snapshots taken so far.
+    pub forks: usize,
+    /// Depth of the live DFS path at the sample point.
+    pub frontier_depth: usize,
+}
+
+impl ProgressSample {
+    /// Fraction of descents cut short by state dedup, in `[0, 1]`.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.runs as f64
+        }
+    }
+}
+
 /// Exploration budgets. All three must hold for a deviation to be tried.
 #[derive(Debug, Clone, Copy)]
 pub struct Budget {
@@ -108,6 +147,10 @@ pub struct Explored {
     /// `true` when the bounded space was fully explored (no violation and
     /// no budget exhaustion).
     pub exhausted: bool,
+    /// Periodic counter snapshots (one per [`PROGRESS_INTERVAL`] runs),
+    /// concatenated in shard order under [`explore_parallel`]. Purely
+    /// structural, so identical at any `DDS_THREADS` value.
+    pub progress: Vec<ProgressSample>,
 }
 
 /// One genuine choice point along the current DFS path.
@@ -236,6 +279,8 @@ pub fn explore_replay(target: &mut dyn Target, budget: Budget) -> Explored {
         *runs += 1;
         target.run(plan)
     };
+    let mut progress: Vec<ProgressSample> = Vec::new();
+    let mut next_sample = PROGRESS_INTERVAL;
 
     let report = run(&[], &mut runs);
     if let Some(v) = report.violation.clone() {
@@ -246,12 +291,23 @@ pub fn explore_replay(target: &mut dyn Target, budget: Budget) -> Explored {
             forks: 0,
             counterexample: Some(Counterexample::new(&report.plan(), v)),
             exhausted: false,
+            progress,
         };
     }
     let mut path: Vec<Node> = Vec::new();
     extend_path(&mut path, 0, &report, por);
 
     while runs < budget.max_runs {
+        if runs >= next_sample {
+            progress.push(ProgressSample {
+                runs,
+                states_explored: 0,
+                dedup_hits: 0,
+                forks: 0,
+                frontier_depth: path.len(),
+            });
+            next_sample = (runs / PROGRESS_INTERVAL + 1) * PROGRESS_INTERVAL;
+        }
         // Deepest node with an admissible untried alternative.
         let Some((depth, alt)) = deepest_admissible(&path, budget) else {
             return Explored {
@@ -261,6 +317,7 @@ pub fn explore_replay(target: &mut dyn Target, budget: Budget) -> Explored {
                 forks: 0,
                 counterexample: None,
                 exhausted: true,
+                progress,
             };
         };
         // The deepest-first discipline means every node below `depth` is
@@ -282,6 +339,7 @@ pub fn explore_replay(target: &mut dyn Target, budget: Budget) -> Explored {
                 forks: 0,
                 counterexample: Some(Counterexample::new(&report.plan(), v)),
                 exhausted: false,
+                progress,
             };
         }
         extend_path(&mut path, depth + 1, &report, por);
@@ -293,6 +351,7 @@ pub fn explore_replay(target: &mut dyn Target, budget: Budget) -> Explored {
         forks: 0,
         counterexample: None,
         exhausted: false,
+        progress,
     }
 }
 
@@ -364,6 +423,9 @@ struct ForkDfs {
     states: usize,
     dedup_hits: usize,
     forks: usize,
+    progress: Vec<ProgressSample>,
+    /// Run count at which the next [`ProgressSample`] is due.
+    next_sample: usize,
 }
 
 impl ForkDfs {
@@ -376,6 +438,25 @@ impl ForkDfs {
             states: 0,
             dedup_hits: 0,
             forks: 0,
+            progress: Vec::new(),
+            next_sample: PROGRESS_INTERVAL,
+        }
+    }
+
+    /// Records a [`ProgressSample`] once per [`PROGRESS_INTERVAL`] runs.
+    /// Called between descents (never mid-descent), so `frontier_depth`
+    /// is the settled DFS path length — a structural quantity, stable
+    /// across thread counts.
+    fn sample(&mut self, frontier_depth: usize) {
+        if self.runs >= self.next_sample {
+            self.progress.push(ProgressSample {
+                runs: self.runs,
+                states_explored: self.states,
+                dedup_hits: self.dedup_hits,
+                forks: self.forks,
+                frontier_depth,
+            });
+            self.next_sample = (self.runs / PROGRESS_INTERVAL + 1) * PROGRESS_INTERVAL;
         }
     }
 
@@ -491,6 +572,7 @@ impl ForkDfs {
             return self.finish(&path, Some(v), false);
         }
         while self.runs < self.budget.max_runs {
+            self.sample(path.len());
             let Some((depth, alt)) = self.deepest_admissible(&path) else {
                 return self.finish(&path, None, true);
             };
@@ -553,6 +635,7 @@ impl ForkDfs {
             forks: self.forks,
             counterexample,
             exhausted,
+            progress: self.progress,
         }
     }
 }
@@ -611,6 +694,7 @@ pub fn explore_parallel_with(
             forks: 0,
             counterexample,
             exhausted,
+            progress: Vec::new(),
         };
     }
     let width = session.choice().expect("Choice state has a choice point").width;
@@ -645,6 +729,7 @@ pub fn explore_parallel_with(
                 forks: 0,
                 counterexample,
                 exhausted,
+                progress: Vec::new(),
             };
         }
         let cp = session.choice().expect("Choice state has a choice point");
@@ -678,12 +763,17 @@ pub fn explore_parallel_with(
         forks: 0,
         counterexample: None,
         exhausted: true,
+        progress: Vec::new(),
     };
     for shard in results {
         total.runs += shard.runs;
         total.states_explored += shard.states_explored;
         total.dedup_hits += shard.dedup_hits;
         total.forks += shard.forks;
+        // Samples concatenate in shard order (shards are defined by the
+        // root width, not the worker count), keeping the merged vector
+        // thread-count invariant like every other field.
+        total.progress.extend(shard.progress.iter().copied());
         if shard.counterexample.is_some() {
             // Mirror the sequential early stop: later shards' work is
             // discarded (they ran, but the report is deterministic).
@@ -811,6 +901,29 @@ mod tests {
             },
         );
         assert!(out2.counterexample.is_some());
+    }
+
+    #[test]
+    fn progress_samples_land_on_interval_boundaries() {
+        // 4^5 = 1024 schedules against a 600-run budget: the replay walk
+        // must cross the 256- and 512-run sample points exactly once each.
+        let mut t = TreeTarget::new(vec![4, 4, 4, 4, 4], None);
+        let out = explore(
+            &mut t,
+            Budget {
+                max_runs: 600,
+                max_depth: 8,
+                max_preemptions: 8,
+            },
+        );
+        assert_eq!(out.runs, 600);
+        assert_eq!(out.progress.len(), 2, "samples at ≥256 and ≥512 runs");
+        assert!(out.progress.windows(2).all(|w| w[0].runs < w[1].runs));
+        for s in &out.progress {
+            assert!(s.runs >= PROGRESS_INTERVAL);
+            assert!(s.dedup_ratio() == 0.0, "replay mode never dedups");
+            assert!(s.frontier_depth <= 5);
+        }
     }
 
     #[test]

@@ -949,11 +949,59 @@ mod tests {
             assert_eq!(t1.forks, t8.forks, "{label}: forks");
             assert_eq!(t1.exhausted, t8.exhausted, "{label}: exhausted");
             assert_eq!(
+                t1.progress, t8.progress,
+                "{label}: progress telemetry (purely structural, merged in shard order)"
+            );
+            assert_eq!(
                 t1.counterexample.as_ref().map(|c| &c.plan),
                 t8.counterexample.as_ref().map(|c| &c.plan),
                 "{label}: witness plan"
             );
         }
+    }
+
+    /// The causal-chain witness artifact: replaying a plan with a
+    /// `CausalLog` installed must yield a JSONL file whose node lines
+    /// telescope — each node's `cause` is the id of the line above it,
+    /// rooted in the environment (cause 0).
+    #[test]
+    fn causal_chain_dump_telescopes() {
+        let field = |line: &str, key: &str| -> u64 {
+            let start = line.find(key).unwrap_or_else(|| panic!("{key} in {line}")) + key.len();
+            line[start..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        let dir = std::env::temp_dir().join("dds-check-causal-chain-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("flood_chain.jsonl");
+        flood_target(true).dump_causal_chain(&[1], &path, "planted");
+        let text = std::fs::read_to_string(&path).expect("chain file written");
+        let mut lines = text.lines();
+        let header = lines.next().expect("header line");
+        assert!(header.contains("\"t\":\"causal-chain\""));
+        assert!(header.contains("\"reason\":\"planted\""));
+        assert!(header.contains("\"plan\":[1]"));
+        let mut prev_id = 0u64;
+        let mut nodes = 0usize;
+        for line in lines {
+            if nodes > 0 {
+                // The root's cause may name a spawn-time event recorded
+                // before the sink was installed; from then on each node's
+                // cause is exactly the previous line's id.
+                assert_eq!(field(line, "\"cause\":"), prev_id, "chain telescopes: {line}");
+            }
+            assert_eq!(field(line, "\"depth\":"), nodes as u64);
+            let id = field(line, "\"id\":");
+            assert!(id > prev_id, "ids ascend along the chain: {line}");
+            prev_id = id;
+            nodes += 1;
+        }
+        assert!(nodes >= 2, "a flood run has a multi-hop critical chain");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::rc::Rc;
 
 use dds_core::spec::register::{check_atomic, RegOp};
 use dds_core::time::Time;
-use dds_obs::{FlightRecorder, ObsEvent, Sink};
+use dds_obs::{CausalLog, FlightRecorder, ObsEvent, Sink};
 use dds_registers::construction::Construction;
 use dds_registers::harness::{run_schedule_planned, CrashEvent};
 use dds_sim::snapshot::{fingerprint_msg, FingerprintMsg, StableHasher};
@@ -115,6 +115,17 @@ pub trait Target {
     /// Replays `plan` and dumps the run's event history as JSONL to
     /// `path` through a [`FlightRecorder`].
     fn dump_counterexample(&mut self, plan: &[usize], path: &Path, reason: &str);
+
+    /// Replays `plan` with a [`dds_obs::CausalLog`] installed and writes
+    /// the minimal happened-before chain explaining the witness — the
+    /// cause chain of the critical path's end event — as JSONL next to
+    /// the flight-recorder dump. Event ids are assigned unconditionally
+    /// by the kernel, so the chain's ids match the flight dump's; the
+    /// root's `cause` may reference a spawn-time event that predates sink
+    /// installation (like the flight dump, observation starts after the
+    /// world is built). Default: no-op, for targets without kernel event
+    /// ids (register histories, synthetic trees).
+    fn dump_causal_chain(&mut self, _plan: &[usize], _path: &Path, _reason: &str) {}
 }
 
 /// Where an exploration session stopped after [`ExploreSession::advance`].
@@ -280,6 +291,46 @@ impl<M: Clone + 'static> Target for WorldTarget<M> {
                 recorder.fail(reason, at);
             }
         }
+    }
+
+    fn dump_causal_chain(&mut self, plan: &[usize], path: &Path, reason: &str) {
+        let mut world = (self.build)();
+        let log: ChoiceLog = Rc::new(RefCell::new(Vec::new()));
+        world.set_schedule_policy(ScriptPolicy::new(plan.to_vec(), log));
+        world.set_sink(CausalLog::default());
+        world.run_until(self.deadline);
+        let Some(sink) = world.take_sink() else {
+            return;
+        };
+        let Ok(causal) = sink.into_any().downcast::<CausalLog>() else {
+            return;
+        };
+        let dag = causal.dag();
+        let chain = dag
+            .critical_end()
+            .map(|id| dag.chain_of(id))
+            .unwrap_or_default();
+        // Integer-only fields and no wall clock, like every other JSONL
+        // artifact: the file is byte-identical across thread counts.
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"t\":\"causal-chain\",\"reason\":\"{}\",\"plan\":{:?},\"events\":{}}}\n",
+            reason,
+            plan,
+            chain.len()
+        ));
+        for (depth, node) in chain.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"t\":\"node\",\"depth\":{},\"id\":{},\"cause\":{},\"at\":{},\"pid\":{},\"segment\":\"{}\"}}\n",
+                depth,
+                node.id,
+                node.cause,
+                node.at.as_ticks(),
+                node.pid.as_raw(),
+                node.segment.label()
+            ));
+        }
+        let _ = std::fs::write(path, out);
     }
 }
 
@@ -480,8 +531,11 @@ impl Target for RegisterTarget {
             }
         }
         spans.sort_by_key(|&(at, _)| at);
-        for (_, ev) in &spans {
-            dds_obs::Sink::record(&mut recorder, ev);
+        // Register histories have no kernel event ids; number the spans
+        // in time order so the dump is still causality-complete JSONL.
+        for (i, (_, ev)) in spans.iter().enumerate() {
+            let causal = dds_core::run::Causality { id: i as u64 + 1, cause: 0 };
+            dds_obs::Sink::record(&mut recorder, ev, causal);
         }
         dds_obs::Sink::fail(&mut recorder, reason, last);
     }

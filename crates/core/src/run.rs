@@ -88,6 +88,23 @@ impl TraceEvent {
     }
 }
 
+/// The causal annotation of one trace event: a stable per-run event id
+/// and the id of the event that caused it.
+///
+/// Ids are assigned by the generating kernel in dispatch order, so a
+/// cause id is always smaller than the id it caused. Id `0` is reserved
+/// for the environment (external injections, churn-driver actions), which
+/// is also the meaning of a defaulted annotation: events pushed through
+/// [`Trace::push`] rather than [`Trace::push_caused`] carry
+/// `Causality::default()` — no id, caused by the environment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Causality {
+    /// Stable per-run event id (`0` = unassigned).
+    pub id: u64,
+    /// Id of the causing event (`0` = the environment).
+    pub cause: u64,
+}
+
 /// The recorded history of one run.
 ///
 /// Events are appended in nondecreasing time order; [`Trace::push`] enforces
@@ -95,6 +112,9 @@ impl TraceEvent {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    /// Causal annotations, one per event (columnar so the 60-odd existing
+    /// `TraceEvent` construction sites stay untouched).
+    causes: Vec<Causality>,
     /// Declared intent of the generating churn driver (finite simulations
     /// only witness prefixes; see [`RunArrivalStats`]).
     arrivals_intended_finite: bool,
@@ -107,6 +127,7 @@ impl Trace {
     pub fn new() -> Self {
         Trace {
             events: Vec::new(),
+            causes: Vec::new(),
             arrivals_intended_finite: true,
             concurrency_intended_finite: true,
         }
@@ -116,6 +137,7 @@ impl Trace {
     /// the event storage for reuse across runs.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.causes.clear();
         self.arrivals_intended_finite = true;
         self.concurrency_intended_finite = true;
     }
@@ -133,6 +155,15 @@ impl Trace {
     ///
     /// Panics if the event is earlier than the last recorded one.
     pub fn push(&mut self, ev: TraceEvent) {
+        self.push_caused(ev, Causality::default());
+    }
+
+    /// Appends an event together with its causal annotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is earlier than the last recorded one.
+    pub fn push_caused(&mut self, ev: TraceEvent, causality: Causality) {
         if let Some(last) = self.events.last() {
             assert!(
                 ev.at() >= last.at(),
@@ -140,11 +171,17 @@ impl Trace {
             );
         }
         self.events.push(ev);
+        self.causes.push(causality);
     }
 
     /// The recorded events, in time order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// The causal annotations, parallel to [`Trace::events`].
+    pub fn causality(&self) -> &[Causality] {
+        &self.causes
     }
 
     /// Number of recorded events.
@@ -509,6 +546,21 @@ mod tests {
             TraceEvent::Leave { pid: pid(0), at: t(1) },
         ]);
         assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn push_caused_keeps_causality_parallel_to_events() {
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::Join { pid: pid(0), at: t(0) });
+        tr.push_caused(
+            TraceEvent::Send { from: pid(0), to: pid(1), at: t(1) },
+            Causality { id: 7, cause: 3 },
+        );
+        assert_eq!(tr.causality().len(), tr.len());
+        assert_eq!(tr.causality()[0], Causality::default());
+        assert_eq!(tr.causality()[1], Causality { id: 7, cause: 3 });
+        tr.clear();
+        assert!(tr.causality().is_empty());
     }
 
     #[test]

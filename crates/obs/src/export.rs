@@ -8,137 +8,147 @@
 
 use std::fmt::Write as _;
 
-use dds_core::run::{Trace, TraceEvent};
+use dds_core::run::{Causality, Trace, TraceEvent};
 
 use crate::sink::ObsEvent;
 
-/// Renders one kernel [`TraceEvent`] as a JSON line (with trailing
-/// newline) appended to `out`.
-pub fn trace_event_line(ev: &TraceEvent, out: &mut String) {
+/// Renders one kernel [`TraceEvent`] with its causal annotation as a
+/// JSON line (with trailing newline) appended to `out`.
+pub fn trace_event_line(ev: &TraceEvent, causal: Causality, out: &mut String) {
     let _ = match *ev {
-        TraceEvent::Join { pid, at } => writeln!(
+        TraceEvent::Join { pid, at } => write!(
             out,
-            "{{\"t\":\"join\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"join\",\"pid\":{},\"at\":{}",
             pid.as_raw(),
             at.as_ticks()
         ),
-        TraceEvent::Leave { pid, at } => writeln!(
+        TraceEvent::Leave { pid, at } => write!(
             out,
-            "{{\"t\":\"leave\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"leave\",\"pid\":{},\"at\":{}",
             pid.as_raw(),
             at.as_ticks()
         ),
-        TraceEvent::Crash { pid, at } => writeln!(
+        TraceEvent::Crash { pid, at } => write!(
             out,
-            "{{\"t\":\"crash\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"crash\",\"pid\":{},\"at\":{}",
             pid.as_raw(),
             at.as_ticks()
         ),
-        TraceEvent::Send { from, to, at } => writeln!(
+        TraceEvent::Send { from, to, at } => write!(
             out,
-            "{{\"t\":\"send\",\"from\":{},\"to\":{},\"at\":{}}}",
+            "{{\"t\":\"send\",\"from\":{},\"to\":{},\"at\":{}",
             from.as_raw(),
             to.as_raw(),
             at.as_ticks()
         ),
-        TraceEvent::Deliver { from, to, at } => writeln!(
+        TraceEvent::Deliver { from, to, at } => write!(
             out,
-            "{{\"t\":\"deliver\",\"from\":{},\"to\":{},\"at\":{}}}",
+            "{{\"t\":\"deliver\",\"from\":{},\"to\":{},\"at\":{}",
             from.as_raw(),
             to.as_raw(),
             at.as_ticks()
         ),
-        TraceEvent::Drop { from, to, at } => writeln!(
+        TraceEvent::Drop { from, to, at } => write!(
             out,
-            "{{\"t\":\"drop\",\"from\":{},\"to\":{},\"at\":{}}}",
+            "{{\"t\":\"drop\",\"from\":{},\"to\":{},\"at\":{}",
             from.as_raw(),
             to.as_raw(),
             at.as_ticks()
         ),
     };
+    causal_suffix(causal, out);
 }
 
-/// Renders a whole [`Trace`] as JSONL, one event per line in time order.
+/// Appends the `,"id":N,"cause":N}` tail shared by every rendered line,
+/// making each JSONL artifact causality-complete and parseable by
+/// [`crate::causal::CausalDag::from_jsonl`].
+fn causal_suffix(causal: Causality, out: &mut String) {
+    let _ = writeln!(out, ",\"id\":{},\"cause\":{}}}", causal.id, causal.cause);
+}
+
+/// Renders a whole [`Trace`] as JSONL, one event per line in time order,
+/// zipping each event with its causal annotation.
 pub fn trace_jsonl(trace: &Trace) -> String {
-    let mut out = String::with_capacity(trace.len() * 44);
-    for ev in trace.events() {
-        trace_event_line(ev, &mut out);
+    let mut out = String::with_capacity(trace.len() * 60);
+    for (ev, causal) in trace.events().iter().zip(trace.causality()) {
+        trace_event_line(ev, *causal, &mut out);
     }
     out
 }
 
-/// Renders one [`ObsEvent`] as a JSON line (with trailing newline)
-/// appended to `out`. Span names are static identifiers chosen by
-/// harnesses and are emitted verbatim.
-pub fn obs_event_line(ev: &ObsEvent, out: &mut String) {
+/// Renders one [`ObsEvent`] with its causal annotation as a JSON line
+/// (with trailing newline) appended to `out`. Span names are static
+/// identifiers chosen by harnesses and are emitted verbatim.
+pub fn obs_event_line(ev: &ObsEvent, causal: Causality, out: &mut String) {
     let _ = match *ev {
-        ObsEvent::Step { at, queue_depth } => writeln!(
+        ObsEvent::Step { at, queue_depth } => write!(
             out,
-            "{{\"t\":\"step\",\"at\":{},\"depth\":{}}}",
+            "{{\"t\":\"step\",\"at\":{},\"depth\":{}",
             at.as_ticks(),
             queue_depth
         ),
-        ObsEvent::Join { pid, at } => writeln!(
+        ObsEvent::Join { pid, at } => write!(
             out,
-            "{{\"t\":\"join\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"join\",\"pid\":{},\"at\":{}",
             pid.as_raw(),
             at.as_ticks()
         ),
-        ObsEvent::Leave { pid, at } => writeln!(
+        ObsEvent::Leave { pid, at } => write!(
             out,
-            "{{\"t\":\"leave\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"leave\",\"pid\":{},\"at\":{}",
             pid.as_raw(),
             at.as_ticks()
         ),
-        ObsEvent::Crash { pid, at } => writeln!(
+        ObsEvent::Crash { pid, at } => write!(
             out,
-            "{{\"t\":\"crash\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"crash\",\"pid\":{},\"at\":{}",
             pid.as_raw(),
             at.as_ticks()
         ),
-        ObsEvent::Send { from, to, at } => writeln!(
+        ObsEvent::Send { from, to, at } => write!(
             out,
-            "{{\"t\":\"send\",\"from\":{},\"to\":{},\"at\":{}}}",
+            "{{\"t\":\"send\",\"from\":{},\"to\":{},\"at\":{}",
             from.as_raw(),
             to.as_raw(),
             at.as_ticks()
         ),
-        ObsEvent::Deliver { from, to, at, latency } => writeln!(
+        ObsEvent::Deliver { from, to, at, latency } => write!(
             out,
-            "{{\"t\":\"deliver\",\"from\":{},\"to\":{},\"at\":{},\"latency\":{}}}",
+            "{{\"t\":\"deliver\",\"from\":{},\"to\":{},\"at\":{},\"latency\":{}",
             from.as_raw(),
             to.as_raw(),
             at.as_ticks(),
             latency.as_ticks()
         ),
-        ObsEvent::Drop { from, to, at } => writeln!(
+        ObsEvent::Drop { from, to, at } => write!(
             out,
-            "{{\"t\":\"drop\",\"from\":{},\"to\":{},\"at\":{}}}",
+            "{{\"t\":\"drop\",\"from\":{},\"to\":{},\"at\":{}",
             from.as_raw(),
             to.as_raw(),
             at.as_ticks()
         ),
-        ObsEvent::TimerFire { pid, at } => writeln!(
+        ObsEvent::TimerFire { pid, at } => write!(
             out,
-            "{{\"t\":\"timer\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"timer\",\"pid\":{},\"at\":{}",
             pid.as_raw(),
             at.as_ticks()
         ),
-        ObsEvent::SpanStart { name, pid, at } => writeln!(
+        ObsEvent::SpanStart { name, pid, at } => write!(
             out,
-            "{{\"t\":\"span-start\",\"name\":\"{}\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"span-start\",\"name\":\"{}\",\"pid\":{},\"at\":{}",
             name,
             pid.as_raw(),
             at.as_ticks()
         ),
-        ObsEvent::SpanEnd { name, pid, at } => writeln!(
+        ObsEvent::SpanEnd { name, pid, at } => write!(
             out,
-            "{{\"t\":\"span-end\",\"name\":\"{}\",\"pid\":{},\"at\":{}}}",
+            "{{\"t\":\"span-end\",\"name\":\"{}\",\"pid\":{},\"at\":{}",
             name,
             pid.as_raw(),
             at.as_ticks()
         ),
     };
+    causal_suffix(causal, out);
 }
 
 #[cfg(test)]
@@ -152,17 +162,26 @@ mod tests {
         let mut tr = Trace::new();
         let p = ProcessId::from_raw(0);
         tr.push(TraceEvent::Join { pid: p, at: Time::ZERO });
-        tr.push(TraceEvent::Send { from: p, to: p, at: Time::from_ticks(2) });
-        tr.push(TraceEvent::Deliver { from: p, to: p, at: Time::from_ticks(3) });
+        tr.push_caused(
+            TraceEvent::Send { from: p, to: p, at: Time::from_ticks(2) },
+            Causality { id: 4, cause: 0 },
+        );
+        tr.push_caused(
+            TraceEvent::Deliver { from: p, to: p, at: Time::from_ticks(3) },
+            Causality { id: 5, cause: 4 },
+        );
         let s = trace_jsonl(&tr);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "{\"t\":\"join\",\"pid\":0,\"at\":0}");
-        assert_eq!(lines[2], "{\"t\":\"deliver\",\"from\":0,\"to\":0,\"at\":3}");
+        assert_eq!(lines[0], "{\"t\":\"join\",\"pid\":0,\"at\":0,\"id\":0,\"cause\":0}");
+        assert_eq!(
+            lines[2],
+            "{\"t\":\"deliver\",\"from\":0,\"to\":0,\"at\":3,\"id\":5,\"cause\":4}"
+        );
     }
 
     #[test]
-    fn obs_lines_carry_latency_and_depth() {
+    fn obs_lines_carry_latency_depth_and_causality() {
         let p = ProcessId::from_raw(4);
         let mut out = String::new();
         obs_event_line(
@@ -172,16 +191,28 @@ mod tests {
                 at: Time::from_ticks(7),
                 latency: TimeDelta::ticks(2),
             },
+            Causality { id: 9, cause: 3 },
             &mut out,
         );
-        obs_event_line(&ObsEvent::Step { at: Time::from_ticks(7), queue_depth: 9 }, &mut out);
+        obs_event_line(
+            &ObsEvent::Step { at: Time::from_ticks(7), queue_depth: 9 },
+            Causality::default(),
+            &mut out,
+        );
         obs_event_line(
             &ObsEvent::SpanStart { name: "query", pid: p, at: Time::from_ticks(1) },
+            Causality::default(),
             &mut out,
         );
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines[0], "{\"t\":\"deliver\",\"from\":4,\"to\":4,\"at\":7,\"latency\":2}");
-        assert_eq!(lines[1], "{\"t\":\"step\",\"at\":7,\"depth\":9}");
-        assert_eq!(lines[2], "{\"t\":\"span-start\",\"name\":\"query\",\"pid\":4,\"at\":1}");
+        assert_eq!(
+            lines[0],
+            "{\"t\":\"deliver\",\"from\":4,\"to\":4,\"at\":7,\"latency\":2,\"id\":9,\"cause\":3}"
+        );
+        assert_eq!(lines[1], "{\"t\":\"step\",\"at\":7,\"depth\":9,\"id\":0,\"cause\":0}");
+        assert_eq!(
+            lines[2],
+            "{\"t\":\"span-start\",\"name\":\"query\",\"pid\":4,\"at\":1,\"id\":0,\"cause\":0}"
+        );
     }
 }

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use std::path::PathBuf;
 
+use dds_core::run::Causality;
 use dds_core::time::Time;
 
 use crate::export::obs_event_line;
@@ -28,7 +29,7 @@ const MAX_RETAINED_DUMPS: usize = 4;
 /// joins, departures, sends, deliveries, drops, timers and spans.
 #[derive(Debug, Clone)]
 pub struct FlightRecorder {
-    ring: VecDeque<ObsEvent>,
+    ring: VecDeque<(Causality, ObsEvent)>,
     capacity: usize,
     /// Total events offered to the ring (including those since evicted).
     pub recorded: u64,
@@ -77,6 +78,11 @@ impl FlightRecorder {
 
     /// The held events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.ring.iter().map(|(_, ev)| ev)
+    }
+
+    /// The held events with their causal annotations, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &(Causality, ObsEvent)> {
         self.ring.iter()
     }
 
@@ -91,22 +97,22 @@ impl FlightRecorder {
             self.ring.len(),
             self.recorded
         ));
-        for ev in &self.ring {
-            obs_event_line(ev, &mut out);
+        for (causal, ev) in &self.ring {
+            obs_event_line(ev, *causal, &mut out);
         }
         out
     }
 }
 
 impl Sink for FlightRecorder {
-    fn record(&mut self, ev: &ObsEvent) {
+    fn record(&mut self, ev: &ObsEvent, causal: Causality) {
         if matches!(ev, ObsEvent::Step { .. }) {
             return;
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
         }
-        self.ring.push_back(*ev);
+        self.ring.push_back((causal, *ev));
         self.recorded += 1;
     }
 
@@ -149,7 +155,7 @@ mod tests {
     fn ring_keeps_only_the_last_n() {
         let mut fr = FlightRecorder::new(3);
         for i in 0..10 {
-            fr.record(&join(i));
+            fr.record(&join(i), Causality { id: i + 1, cause: 0 });
         }
         assert_eq!(fr.len(), 3);
         assert_eq!(fr.recorded, 10);
@@ -160,7 +166,7 @@ mod tests {
     #[test]
     fn step_events_are_skipped() {
         let mut fr = FlightRecorder::new(4);
-        fr.record(&ObsEvent::Step { at: Time::ZERO, queue_depth: 5 });
+        fr.record(&ObsEvent::Step { at: Time::ZERO, queue_depth: 5 }, Causality::default());
         assert!(fr.is_empty());
         assert_eq!(fr.recorded, 0);
     }
@@ -168,8 +174,8 @@ mod tests {
     #[test]
     fn dump_has_header_and_one_line_per_event() {
         let mut fr = FlightRecorder::new(8);
-        fr.record(&join(1));
-        fr.record(&join(2));
+        fr.record(&join(1), Causality { id: 1, cause: 0 });
+        fr.record(&join(2), Causality { id: 2, cause: 1 });
         let dump = fr.dump_jsonl("spec \"failure\"", Time::from_ticks(5));
         let lines: Vec<&str> = dump.lines().collect();
         assert_eq!(lines.len(), 3);
@@ -182,7 +188,7 @@ mod tests {
     fn fail_writes_to_the_configured_path() {
         let path = std::env::temp_dir().join(format!("dds-flight-test-{}.jsonl", std::process::id()));
         let mut fr = FlightRecorder::new(8).with_dump_path(&path);
-        fr.record(&join(3));
+        fr.record(&join(3), Causality::default());
         fr.fail("unit test", Time::from_ticks(3));
         let written = std::fs::read_to_string(&path).expect("dump file written");
         assert!(written.contains("\"reason\":\"unit test\""));

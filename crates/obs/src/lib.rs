@@ -18,7 +18,11 @@
 //!   an actor panics;
 //! - [`export`] — JSONL renderers for traces and observation events
 //!   (integer-only fields, so output is byte-identical across thread
-//!   counts).
+//!   counts);
+//! - [`causal`] — happened-before DAG reconstruction over the kernel's
+//!   id/cause annotations: vector clocks, per-process fan-out, and
+//!   critical-path latency decomposition into transit/queueing/processing
+//!   segments.
 //!
 //! Everything is hand-rolled std-only Rust, consistent with the
 //! vendored-offline-deps constraint (DESIGN.md §12): no external crates,
@@ -27,12 +31,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod causal;
 pub mod export;
 pub mod flight;
 pub mod histogram;
 pub mod report;
 pub mod sink;
 
+pub use causal::{CausalDag, CausalLog, CausalNode, CriticalPath, SegmentKind};
 pub use flight::FlightRecorder;
 pub use histogram::Histogram;
 pub use report::RunReport;

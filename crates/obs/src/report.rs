@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use dds_core::process::ProcessId;
+use dds_core::run::Causality;
 use dds_core::time::Time;
 
 use crate::histogram::Histogram;
@@ -84,7 +85,7 @@ impl RunReport {
 }
 
 impl Sink for RunReport {
-    fn record(&mut self, ev: &ObsEvent) {
+    fn record(&mut self, ev: &ObsEvent, _causal: Causality) {
         self.events += 1;
         match *ev {
             ObsEvent::Step { queue_depth, .. } => {
@@ -136,17 +137,17 @@ mod tests {
     #[test]
     fn report_tracks_latency_depth_and_membership() {
         let mut r = RunReport::default();
-        r.record(&ObsEvent::Join { pid: pid(0), at: t(0) });
-        r.record(&ObsEvent::Join { pid: pid(1), at: t(0) });
-        r.record(&ObsEvent::Step { at: t(1), queue_depth: 4 });
-        r.record(&ObsEvent::Send { from: pid(0), to: pid(1), at: t(1) });
+        r.record(&ObsEvent::Join { pid: pid(0), at: t(0) }, Causality::default());
+        r.record(&ObsEvent::Join { pid: pid(1), at: t(0) }, Causality::default());
+        r.record(&ObsEvent::Step { at: t(1), queue_depth: 4 }, Causality::default());
+        r.record(&ObsEvent::Send { from: pid(0), to: pid(1), at: t(1) }, Causality::default());
         r.record(&ObsEvent::Deliver {
             from: pid(0),
             to: pid(1),
             at: t(3),
             latency: TimeDelta::ticks(2),
-        });
-        r.record(&ObsEvent::Crash { pid: pid(1), at: t(4) });
+        }, Causality::default());
+        r.record(&ObsEvent::Crash { pid: pid(1), at: t(4) }, Causality::default());
         assert_eq!(r.delivery_latency.count(), 1);
         assert_eq!(r.delivery_latency.max(), 2);
         assert_eq!(r.queue_depth.max(), 4);
@@ -160,10 +161,10 @@ mod tests {
     #[test]
     fn spans_measure_durations_per_name() {
         let mut r = RunReport::default();
-        r.record(&ObsEvent::SpanStart { name: "query", pid: pid(0), at: t(1) });
-        r.record(&ObsEvent::SpanEnd { name: "query", pid: pid(0), at: t(8) });
+        r.record(&ObsEvent::SpanStart { name: "query", pid: pid(0), at: t(1) }, Causality::default());
+        r.record(&ObsEvent::SpanEnd { name: "query", pid: pid(0), at: t(8) }, Causality::default());
         // Unmatched end is ignored.
-        r.record(&ObsEvent::SpanEnd { name: "query", pid: pid(0), at: t(9) });
+        r.record(&ObsEvent::SpanEnd { name: "query", pid: pid(0), at: t(9) }, Causality::default());
         assert_eq!(r.span_durations["query"].count(), 1);
         assert_eq!(r.span_durations["query"].max(), 7);
     }
@@ -172,7 +173,7 @@ mod tests {
     fn membership_timeline_is_bounded() {
         let mut r = RunReport::default();
         for i in 0..(MEMBERSHIP_SAMPLES as u64 + 10) {
-            r.record(&ObsEvent::Join { pid: pid(i), at: t(i) });
+            r.record(&ObsEvent::Join { pid: pid(i), at: t(i) }, Causality::default());
         }
         assert_eq!(r.membership.len(), MEMBERSHIP_SAMPLES);
         assert!(r.membership_truncated);
@@ -184,9 +185,9 @@ mod tests {
     fn message_complexity_distribution() {
         let mut r = RunReport::default();
         for _ in 0..3 {
-            r.record(&ObsEvent::Send { from: pid(0), to: pid(1), at: t(0) });
+            r.record(&ObsEvent::Send { from: pid(0), to: pid(1), at: t(0) }, Causality::default());
         }
-        r.record(&ObsEvent::Send { from: pid(1), to: pid(0), at: t(0) });
+        r.record(&ObsEvent::Send { from: pid(1), to: pid(0), at: t(0) }, Causality::default());
         let h = r.message_complexity();
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), 3);

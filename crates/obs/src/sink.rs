@@ -9,6 +9,7 @@
 use std::any::Any;
 
 use dds_core::process::ProcessId;
+use dds_core::run::Causality;
 use dds_core::time::{Time, TimeDelta};
 
 /// One observation emitted by the kernel's dispatch loop.
@@ -144,8 +145,10 @@ impl ObsEvent {
 /// concrete sink (and its accumulated state) from the `Box<dyn Sink>` the
 /// world hands back.
 pub trait Sink: Any {
-    /// Consumes one observation.
-    fn record(&mut self, ev: &ObsEvent);
+    /// Consumes one observation together with its causal annotation
+    /// (event id and cause id, [`Causality::default`] for unidentified
+    /// observations such as `Step` noise).
+    fn record(&mut self, ev: &ObsEvent, causal: Causality);
 
     /// Called by the kernel when a run fails abnormally (today: an actor
     /// panicked inside a callback); the flight recorder dumps its ring
@@ -167,7 +170,7 @@ pub trait Sink: Any {
 pub struct NoopSink;
 
 impl Sink for NoopSink {
-    fn record(&mut self, _ev: &ObsEvent) {}
+    fn record(&mut self, _ev: &ObsEvent, _causal: Causality) {}
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
@@ -175,14 +178,18 @@ impl Sink for NoopSink {
 }
 
 /// The harness's standard composite: a [`crate::report::RunReport`]
-/// aggregating the run plus a [`crate::flight::FlightRecorder`] holding
-/// the most recent events for post-mortem dumps.
+/// aggregating the run, a [`crate::flight::FlightRecorder`] holding the
+/// most recent events for post-mortem dumps, and a
+/// [`crate::causal::CausalLog`] keeping the run's happened-before
+/// skeleton for critical-path analysis.
 #[derive(Debug, Clone, Default)]
 pub struct ObserverSink {
     /// Aggregated run statistics.
     pub report: crate::report::RunReport,
     /// Ring buffer of the most recent kernel events.
     pub flight: crate::flight::FlightRecorder,
+    /// Causal skeleton of the run (id/cause edges).
+    pub causal: crate::causal::CausalLog,
 }
 
 impl ObserverSink {
@@ -192,14 +199,16 @@ impl ObserverSink {
         ObserverSink {
             report: crate::report::RunReport::default(),
             flight: crate::flight::FlightRecorder::new(flight_capacity),
+            causal: crate::causal::CausalLog::default(),
         }
     }
 }
 
 impl Sink for ObserverSink {
-    fn record(&mut self, ev: &ObsEvent) {
-        self.report.record(ev);
-        self.flight.record(ev);
+    fn record(&mut self, ev: &ObsEvent, causal: Causality) {
+        self.report.record(ev, causal);
+        self.flight.record(ev, causal);
+        self.causal.record(ev, causal);
     }
 
     fn fail(&mut self, reason: &str, at: Time) {
@@ -237,13 +246,16 @@ mod tests {
     }
 
     #[test]
-    fn observer_sink_feeds_both_parts() {
+    fn observer_sink_feeds_all_parts() {
         let mut obs = ObserverSink::new(8);
         let p = ProcessId::from_raw(0);
-        obs.record(&ObsEvent::Join { pid: p, at: Time::ZERO });
-        obs.record(&ObsEvent::Step { at: Time::ZERO, queue_depth: 1 });
+        obs.record(&ObsEvent::Join { pid: p, at: Time::ZERO }, Causality { id: 1, cause: 0 });
+        obs.record(&ObsEvent::Step { at: Time::ZERO, queue_depth: 1 }, Causality::default());
         assert_eq!(obs.report.events, 2);
         // Flight recorder skips step noise but keeps the join.
         assert_eq!(obs.flight.len(), 1);
+        // The causal log keeps only identified events.
+        assert_eq!(obs.causal.len(), 1);
+        assert_eq!(obs.causal.nodes()[0].id, 1);
     }
 }

@@ -17,7 +17,7 @@ use dds_core::spec::hook;
 use dds_core::spec::one_time_query::{check_outcome, QueryOutcome, ValidityReport};
 use dds_core::time::{Interval, Time, TimeDelta};
 use dds_net::graph::Graph;
-use dds_obs::{Histogram, ObsEvent, ObserverSink, RunReport};
+use dds_obs::{CriticalPath, Histogram, ObsEvent, ObserverSink, RunReport};
 use dds_sim::delay::{DelayModel, LossModel};
 use dds_sim::driver::{BalancedChurn, Growth, NoChurn, PathStretch};
 use dds_sim::partition::PartitionDriver;
@@ -448,6 +448,10 @@ impl QueryScenario {
             .take_sink()
             .and_then(|s| s.into_any().downcast::<ObserverSink>().ok())
             .map_or_else(Default::default, |b| *b);
+        // Critical-path decomposition over the run's happened-before DAG:
+        // the longest-latency causal chain, split into transit (message
+        // flight), queueing (timer waits) and processing segments.
+        let critical = observer.causal.dag().critical_path();
         let trace_jsonl = self
             .capture_trace
             .then(|| dds_obs::export::trace_jsonl(world.trace()));
@@ -493,6 +497,7 @@ impl QueryScenario {
             relative_error,
             finished,
             obs: observer.report,
+            critical,
             flight_dump,
             trace_jsonl,
         }
@@ -554,6 +559,9 @@ pub struct QueryRun {
     /// histograms, membership timeline, per-process message complexity and
     /// protocol spans.
     pub obs: RunReport,
+    /// Critical-path decomposition of the run's happened-before DAG: the
+    /// longest-latency causal chain split into transit/queueing/processing.
+    pub critical: CriticalPath,
     /// Flight-recorder JSONL dump of the most recent kernel events,
     /// present when the run violated its specification.
     pub flight_dump: Option<String>,
@@ -619,6 +627,10 @@ pub fn fold_sweep(runs: &[QueryRun]) -> SweepRow {
     let mut msg_sum = 0u64;
     let mut latency = Histogram::new();
     let mut depth = Histogram::new();
+    let mut critical = Histogram::new();
+    let mut crit_transit = 0u64;
+    let mut crit_queueing = 0u64;
+    let mut crit_processing = 0u64;
     let mut metrics = Metrics::default();
     for run in runs {
         total += 1;
@@ -635,8 +647,13 @@ pub fn fold_sweep(runs: &[QueryRun]) -> SweepRow {
         msg_sum += run.metrics.sends;
         latency.merge(&run.obs.delivery_latency);
         depth.merge(&run.obs.queue_depth);
+        critical.record(run.critical.total);
+        crit_transit += run.critical.transit;
+        crit_queueing += run.critical.queueing;
+        crit_processing += run.critical.processing;
         metrics.merge(&run.metrics);
     }
+    let per_run = |sum: u64| if total > 0 { sum as f64 / f64::from(total) } else { 0.0 };
     SweepRow {
         runs: total,
         interval_valid: valid,
@@ -655,6 +672,11 @@ pub fn fold_sweep(runs: &[QueryRun]) -> SweepRow {
         p99_delivery_latency: latency.percentile(99.0),
         p50_queue_depth: depth.percentile(50.0),
         p99_queue_depth: depth.percentile(99.0),
+        p50_critical_path: critical.percentile(50.0),
+        p99_critical_path: critical.percentile(99.0),
+        mean_crit_transit: per_run(crit_transit),
+        mean_crit_queueing: per_run(crit_queueing),
+        mean_crit_processing: per_run(crit_processing),
         metrics,
     }
 }
@@ -688,6 +710,16 @@ pub struct SweepRow {
     pub p50_queue_depth: u64,
     /// 99th-percentile event-queue depth.
     pub p99_queue_depth: u64,
+    /// Median end-to-end critical-path length (ticks) across runs.
+    pub p50_critical_path: u64,
+    /// 99th-percentile critical-path length across runs.
+    pub p99_critical_path: u64,
+    /// Mean ticks the critical path spent in message flight, per run.
+    pub mean_crit_transit: f64,
+    /// Mean ticks the critical path spent waiting on timers, per run.
+    pub mean_crit_queueing: f64,
+    /// Mean ticks of local work on the critical path, per run.
+    pub mean_crit_processing: f64,
     /// Kernel counters summed over the sweep (peak membership is a max).
     pub metrics: Metrics,
 }
@@ -742,6 +774,17 @@ mod tests {
         assert_eq!(run.outcome.value, 16.0);
         assert_eq!(run.relative_error, 0.0);
         assert!(run.finished.is_some());
+        // The run's longest-latency causal chain is nonempty and its
+        // segments telescope to the total exactly (here it is the
+        // flood-echo timeout timer: one queueing hop dominates the wave's
+        // transit chain).
+        assert!(run.critical.total > 0 && run.critical.hops >= 1, "got {}", run.critical);
+        assert_eq!(
+            run.critical.total,
+            run.critical.transit + run.critical.queueing + run.critical.processing,
+            "segments must decompose the total exactly: {}",
+            run.critical
+        );
     }
 
     #[test]
@@ -926,6 +969,11 @@ mod tests {
             p99_delivery_latency: 2,
             p50_queue_depth: 3,
             p99_queue_depth: 8,
+            p50_critical_path: 12,
+            p99_critical_path: 20,
+            mean_crit_transit: 8.0,
+            mean_crit_queueing: 3.0,
+            mean_crit_processing: 0.0,
             metrics: Metrics::default(),
         };
         assert!((row.validity_rate() - 0.7).abs() < 1e-12);

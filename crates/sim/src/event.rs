@@ -58,6 +58,11 @@ pub enum Event<M> {
         /// When the message was handed to the network — lets the kernel
         /// report in-flight latency to observability sinks at delivery.
         sent: Time,
+        /// Causal annotation: the id of the send event that put this
+        /// message in flight (`0` = injected by the environment). Purely
+        /// observational — excluded from fingerprints, never branches
+        /// dispatch.
+        cause: u64,
         /// Payload.
         msg: M,
     },
@@ -67,6 +72,9 @@ pub enum Event<M> {
         pid: ProcessId,
         /// Which timer.
         timer: TimerId,
+        /// Causal annotation: the id of the event whose callback set the
+        /// timer (`0` = set outside any dispatch). Observational only.
+        cause: u64,
     },
     /// A churn-driver wake-up.
     ChurnTick,
@@ -159,17 +167,20 @@ pub trait SchedulePolicy {
 
 impl<M> Event<M> {
     /// Absorbs this event into a fingerprint hasher: a discriminant, the
-    /// routing fields, and the payload via `msg_fp`.
+    /// routing fields, and the payload via `msg_fp`. The `cause`
+    /// annotation is deliberately excluded: it never influences dispatch,
+    /// so states differing only in causal bookkeeping stay mergeable
+    /// under exploration dedup.
     fn fingerprint(&self, h: &mut StableHasher, msg_fp: fn(&M, &mut StableHasher)) {
         match self {
-            Event::Deliver { from, to, sent, msg } => {
+            Event::Deliver { from, to, sent, msg, .. } => {
                 h.write_u8(0);
                 h.write_u64(from.as_raw());
                 h.write_u64(to.as_raw());
                 h.write_u64(sent.as_ticks());
                 msg_fp(msg, h);
             }
-            Event::Timer { pid, timer } => {
+            Event::Timer { pid, timer, .. } => {
                 h.write_u8(1);
                 h.write_u64(pid.as_raw());
                 h.write_u64(timer.0);
@@ -648,6 +659,7 @@ mod tests {
                         from: ProcessId::from_raw(0),
                         to: ProcessId::from_raw(0),
                         sent: t(3),
+                        cause: 0,
                         msg: i,
                     },
                 );
@@ -715,6 +727,7 @@ mod tests {
                     from: ProcessId::from_raw(0),
                     to: ProcessId::from_raw(0),
                     sent: far,
+                    cause: 0,
                     msg: i,
                 },
             );
@@ -753,6 +766,7 @@ mod tests {
             from: ProcessId::from_raw(0),
             to: ProcessId::from_raw(to),
             sent: t(3),
+            cause: 0,
             msg,
         }
     }
@@ -768,7 +782,10 @@ mod tests {
             assert_eq!(q.ready_set(&mut ready), None);
             q.schedule(t(5), Event::ChurnTick);
             q.schedule(t(3), deliver(7, 0));
-            q.schedule(t(3), Event::Timer { pid: ProcessId::from_raw(2), timer: TimerId(9) });
+            q.schedule(
+                t(3),
+                Event::Timer { pid: ProcessId::from_raw(2), timer: TimerId(9), cause: 0 },
+            );
             assert_eq!(q.ready_set(&mut ready), Some(t(3)), "{kind:?}");
             assert_eq!(
                 ready,
@@ -836,7 +853,10 @@ mod tests {
         for q in [&mut cal, &mut heap] {
             q.schedule(t(3), deliver(1, 10));
             q.schedule(t(2 * RING_SIZE), deliver(2, 20)); // overflow in calendar
-            q.schedule(t(3), Event::Timer { pid: ProcessId::from_raw(5), timer: TimerId(4) });
+            q.schedule(
+                t(3),
+                Event::Timer { pid: ProcessId::from_raw(5), timer: TimerId(4), cause: 0 },
+            );
         }
         assert_eq!(digest(&cal), digest(&heap));
 

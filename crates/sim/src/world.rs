@@ -19,7 +19,7 @@ use std::rc::Rc;
 
 use dds_core::process::{IdSource, ProcessId};
 use dds_core::rng::Rng;
-use dds_core::run::{Trace, TraceEvent};
+use dds_core::run::{Causality, Trace, TraceEvent};
 use dds_core::time::Time;
 use dds_net::dynamic::{AttachRule, RepairRule};
 use dds_net::graph::Graph;
@@ -220,6 +220,8 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             schedule_policy: self.schedule_policy,
             ready_buf: Vec::new(),
             epoch: 0,
+            next_obs_id: 1,
+            current_cause: 0,
         };
         world.seat_initial(&self.initial_graph);
         world
@@ -255,7 +257,9 @@ impl fmt::Debug for ResetSpec {
     }
 }
 
-/// A pending actor callback at the current instant.
+/// A pending actor callback at the current instant, paired with the id of
+/// the kernel event that caused it (`0` = the environment) so effects the
+/// callback produces inherit the right `cause` edge.
 enum Callback<M> {
     Start(ProcessId),
     Message {
@@ -309,7 +313,7 @@ pub struct World<M> {
     trace: Trace,
     metrics: Metrics,
     next_timer: u64,
-    callbacks: VecDeque<Callback<M>>,
+    callbacks: VecDeque<(u64, Callback<M>)>,
     /// Reusable effect buffer handed to each callback's `Context`, so a
     /// steady-state dispatch allocates nothing.
     effect_buf: Vec<Effect<M>>,
@@ -324,6 +328,17 @@ pub struct World<M> {
     /// Mutation epoch: bumped on every membership or topology change, so
     /// schedule explorers can invalidate commutativity assumptions.
     epoch: u64,
+    /// Next causal event id to hand out (`0` is reserved for "the
+    /// environment"). Ids are assigned unconditionally at dispatch — a
+    /// plain counter increment, so the no-sink fast path stays
+    /// allocation-free and id assignment is identical with and without a
+    /// sink installed. Excluded from [`World::fingerprint`], like the
+    /// trace it annotates.
+    next_obs_id: u64,
+    /// The id of the event whose callback is currently producing effects
+    /// (`0` between dispatches): sends, timer-sets and leaves performed by
+    /// an actor are caused by the event that invoked it.
+    current_cause: u64,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -356,17 +371,20 @@ impl<M: Clone + 'static> World<M> {
             self.values.insert(pid, value);
             let actor = (self.spawn.borrow_mut())(pid);
             self.actors.insert(pid, actor);
-            self.trace.push(TraceEvent::Join { pid, at: Time::ZERO });
+            // Each initial join gets an event id; the process's Start
+            // callback carries it so first-step effects trace back to the
+            // spawn (the spawn → first-step cause edge).
+            let join_id = self.fresh_id();
+            let causal = Causality { id: join_id, cause: 0 };
+            self.trace.push_caused(TraceEvent::Join { pid, at: Time::ZERO }, causal);
             self.metrics.joins += 1;
-            self.emit(ObsEvent::Join { pid, at: Time::ZERO });
+            self.emit(ObsEvent::Join { pid, at: Time::ZERO }, causal);
+            self.callbacks.push_back((join_id, Callback::Start(pid)));
         }
         self.graph = initial.clone();
         self.members.clear();
         self.members.extend(self.graph.nodes());
         self.metrics.max_membership = self.graph.node_count();
-        for i in 0..self.members.len() {
-            self.callbacks.push_back(Callback::Start(self.members[i]));
-        }
         self.drain_callbacks();
         if let Some(t) = self.driver.initial_wakeup() {
             self.queue.schedule(t, Event::ChurnTick);
@@ -403,6 +421,8 @@ impl<M: Clone + 'static> World<M> {
         // back to default order until a policy is installed again.
         self.schedule_policy = None;
         self.epoch = 0;
+        self.next_obs_id = 1;
+        self.current_cause = 0;
         self.seat_initial(initial_graph);
     }
 
@@ -429,9 +449,13 @@ impl<M: Clone + 'static> World<M> {
 
     /// Forwards `ev` to the installed sink, if any — the hook harnesses
     /// use to add their own observations (protocol round/phase spans) to
-    /// the kernel's stream.
+    /// the kernel's stream. The observation gets a fresh event id so it
+    /// becomes a node of the causal DAG; its cause is the event being
+    /// dispatched when it is emitted mid-callback, or the environment
+    /// (`0`) when emitted between steps.
     pub fn observe(&mut self, ev: ObsEvent) {
-        self.emit(ev);
+        let causal = Causality { id: self.fresh_id(), cause: self.current_cause };
+        self.emit(ev, causal);
     }
 
     /// Installs (or replaces) the observability sink mid-run.
@@ -464,10 +488,21 @@ impl<M: Clone + 'static> World<M> {
     }
 
     #[inline]
-    fn emit(&mut self, ev: ObsEvent) {
+    fn emit(&mut self, ev: ObsEvent, causal: Causality) {
         if let Some(sink) = self.sink.as_mut() {
-            sink.record(&ev);
+            sink.record(&ev, causal);
         }
+    }
+
+    /// Hands out the next causal event id. Called on every identified
+    /// kernel event regardless of whether a sink is installed, so the id
+    /// sequence — and therefore every downstream causal artifact — is a
+    /// pure function of the run, never of observation.
+    #[inline]
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_obs_id;
+        self.next_obs_id += 1;
+        id
     }
 
     /// The local value of a process (present or departed).
@@ -508,6 +543,7 @@ impl<M: Clone + 'static> World<M> {
                 from: pid,
                 to: pid,
                 sent: at,
+                cause: 0, // injected by the environment
                 msg,
             },
         );
@@ -630,6 +666,10 @@ impl<M: Clone + 'static> World<M> {
             schedule_policy: None,
             ready_buf: Vec::new(),
             epoch: self.epoch,
+            // Causal ids continue from the parent so the fork's future
+            // events never reuse an id the shared prefix already assigned.
+            next_obs_id: self.next_obs_id,
+            current_cause: self.current_cause,
         })
     }
 
@@ -696,33 +736,44 @@ impl<M: Clone + 'static> World<M> {
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         if self.sink.is_some() {
-            self.emit(ObsEvent::Step { at, queue_depth: self.queue.len() });
+            let depth = self.queue.len();
+            self.emit(ObsEvent::Step { at, queue_depth: depth }, Causality::default());
         }
         match event {
-            Event::Deliver { from, to, sent, msg } => {
+            Event::Deliver { from, to, sent, cause, msg } => {
+                // The delivery (or the drop, if the destination departed)
+                // is caused by the send that put the message in flight —
+                // the send → deliver edge of the happened-before DAG.
+                let causal = Causality { id: self.fresh_id(), cause };
                 if self.actors.contains(to) {
-                    self.trace.push(TraceEvent::Deliver { from, to, at });
+                    self.trace.push_caused(TraceEvent::Deliver { from, to, at }, causal);
                     self.metrics.delivers += 1;
                     if self.sink.is_some() {
-                        self.emit(ObsEvent::Deliver {
-                            from,
-                            to,
-                            at,
-                            latency: at.saturating_since(sent),
-                        });
+                        self.emit(
+                            ObsEvent::Deliver {
+                                from,
+                                to,
+                                at,
+                                latency: at.saturating_since(sent),
+                            },
+                            causal,
+                        );
                     }
-                    self.callbacks.push_back(Callback::Message { to, from, msg });
+                    self.callbacks.push_back((causal.id, Callback::Message { to, from, msg }));
                 } else {
-                    self.trace.push(TraceEvent::Drop { from, to, at });
+                    self.trace.push_caused(TraceEvent::Drop { from, to, at }, causal);
                     self.metrics.drops += 1;
-                    self.emit(ObsEvent::Drop { from, to, at });
+                    self.emit(ObsEvent::Drop { from, to, at }, causal);
                 }
             }
-            Event::Timer { pid, timer } => {
+            Event::Timer { pid, timer, cause } => {
                 if self.actors.contains(pid) {
+                    // Timer-set → fire edge: the fire's cause is the event
+                    // whose callback armed the timer.
+                    let causal = Causality { id: self.fresh_id(), cause };
                     self.metrics.timer_fires += 1;
-                    self.emit(ObsEvent::TimerFire { pid, at });
-                    self.callbacks.push_back(Callback::Timer { pid, timer });
+                    self.emit(ObsEvent::TimerFire { pid, at }, causal);
+                    self.callbacks.push_back((causal.id, Callback::Timer { pid, timer }));
                 }
             }
             Event::ChurnTick => {
@@ -760,22 +811,25 @@ impl<M: Clone + 'static> World<M> {
         while self.step() {}
     }
 
+    /// Applies one churn action. Churn originates from the driver, not
+    /// from any traced event, so joins/departures it performs carry cause
+    /// `0` (the environment).
     fn apply_churn(&mut self, action: ChurnAction) {
         match action {
             ChurnAction::Join => {
                 let pid = self.ids.fresh();
-                self.admit(pid, AdmitWiring::Policy);
+                self.admit(pid, AdmitWiring::Policy, 0);
             }
-            ChurnAction::Leave(pid) => self.depart(pid, false),
-            ChurnAction::Crash(pid) => self.depart(pid, true),
+            ChurnAction::Leave(pid) => self.depart(pid, false, 0),
+            ChurnAction::Crash(pid) => self.depart(pid, true, 0),
             ChurnAction::LeaveRandom => {
                 if let Some(&pid) = self.rng.choose(&self.members) {
-                    self.depart(pid, false);
+                    self.depart(pid, false, 0);
                 }
             }
             ChurnAction::CrashRandom => {
                 if let Some(&pid) = self.rng.choose(&self.members) {
-                    self.depart(pid, true);
+                    self.depart(pid, true, 0);
                 }
             }
             ChurnAction::InsertBetween(a, b) => {
@@ -783,14 +837,14 @@ impl<M: Clone + 'static> World<M> {
                     return;
                 }
                 let pid = self.ids.fresh();
-                self.admit(pid, AdmitWiring::Splice(a, b));
+                self.admit(pid, AdmitWiring::Splice(a, b), 0);
             }
             ChurnAction::CutEdge(a, b) => {
                 if self.graph.has_edge(a, b) {
                     self.epoch += 1;
                     self.graph.remove_edge(a, b);
-                    self.callbacks.push_back(Callback::NeighborDown { pid: a, peer: b });
-                    self.callbacks.push_back(Callback::NeighborDown { pid: b, peer: a });
+                    self.callbacks.push_back((0, Callback::NeighborDown { pid: a, peer: b }));
+                    self.callbacks.push_back((0, Callback::NeighborDown { pid: b, peer: a }));
                 }
             }
             ChurnAction::RestoreEdge(a, b) => {
@@ -801,15 +855,19 @@ impl<M: Clone + 'static> World<M> {
                 {
                     self.epoch += 1;
                     self.graph.add_edge(a, b);
-                    self.callbacks.push_back(Callback::NeighborUp { pid: a, peer: b });
-                    self.callbacks.push_back(Callback::NeighborUp { pid: b, peer: a });
+                    self.callbacks.push_back((0, Callback::NeighborUp { pid: a, peer: b }));
+                    self.callbacks.push_back((0, Callback::NeighborUp { pid: b, peer: a }));
                 }
             }
         }
     }
 
-    fn admit(&mut self, pid: ProcessId, wiring: AdmitWiring) {
+    fn admit(&mut self, pid: ProcessId, wiring: AdmitWiring, cause: u64) {
         self.epoch += 1;
+        // Allocate the join's event id up front: every notification the
+        // admission produces (splice cuts, start, neighbor-ups) descends
+        // from the join node in the causal DAG.
+        let join_id = self.fresh_id();
         let value = (self.value_fn.borrow_mut())(pid, &mut self.rng);
         self.values.insert(pid, value);
         let wired_to: Vec<ProcessId> = match wiring {
@@ -824,8 +882,8 @@ impl<M: Clone + 'static> World<M> {
                 self.graph.add_edge(pid, a);
                 self.graph.add_edge(pid, b);
                 self.graph.remove_edge(a, b);
-                self.callbacks.push_back(Callback::NeighborDown { pid: a, peer: b });
-                self.callbacks.push_back(Callback::NeighborDown { pid: b, peer: a });
+                self.callbacks.push_back((join_id, Callback::NeighborDown { pid: a, peer: b }));
+                self.callbacks.push_back((join_id, Callback::NeighborDown { pid: b, peer: a }));
                 vec![a, b]
             }
         };
@@ -834,17 +892,18 @@ impl<M: Clone + 'static> World<M> {
         }
         let actor = (self.spawn.borrow_mut())(pid);
         self.actors.insert(pid, actor);
-        self.trace.push(TraceEvent::Join { pid, at: self.now });
+        let causal = Causality { id: join_id, cause };
+        self.trace.push_caused(TraceEvent::Join { pid, at: self.now }, causal);
         self.metrics.joins += 1;
-        self.emit(ObsEvent::Join { pid, at: self.now });
+        self.emit(ObsEvent::Join { pid, at: self.now }, causal);
         self.metrics.max_membership = self.metrics.max_membership.max(self.graph.node_count());
-        self.callbacks.push_back(Callback::Start(pid));
+        self.callbacks.push_back((join_id, Callback::Start(pid)));
         for peer in wired_to {
-            self.callbacks.push_back(Callback::NeighborUp { pid: peer, peer: pid });
+            self.callbacks.push_back((join_id, Callback::NeighborUp { pid: peer, peer: pid }));
         }
     }
 
-    fn depart(&mut self, pid: ProcessId, crashed: bool) {
+    fn depart(&mut self, pid: ProcessId, crashed: bool, cause: u64) {
         if !self.graph.contains(pid) {
             return;
         }
@@ -869,14 +928,18 @@ impl<M: Clone + 'static> World<M> {
             self.members.remove(i);
         }
         self.actors.depart(pid);
+        // Bridge and down notifications below all descend from this
+        // departure in the causal DAG.
+        let leave_id = self.fresh_id();
+        let causal = Causality { id: leave_id, cause };
         if crashed {
-            self.trace.push(TraceEvent::Crash { pid, at: self.now });
+            self.trace.push_caused(TraceEvent::Crash { pid, at: self.now }, causal);
             self.metrics.crashes += 1;
-            self.emit(ObsEvent::Crash { pid, at: self.now });
+            self.emit(ObsEvent::Crash { pid, at: self.now }, causal);
         } else {
-            self.trace.push(TraceEvent::Leave { pid, at: self.now });
+            self.trace.push_caused(TraceEvent::Leave { pid, at: self.now }, causal);
             self.metrics.leaves += 1;
-            self.emit(ObsEvent::Leave { pid, at: self.now });
+            self.emit(ObsEvent::Leave { pid, at: self.now }, causal);
         }
         // Announce bridge edges created by the repair rule BEFORE the
         // departure notifications: a protocol waiting on the departed
@@ -886,27 +949,34 @@ impl<M: Clone + 'static> World<M> {
             for j in (i + 1)..nbrs.len() {
                 let (a, b) = (nbrs[i], nbrs[j]);
                 if self.graph.has_edge(a, b) && !pre_connected.contains(&(a, b)) {
-                    self.callbacks
-                        .push_back(Callback::NeighborBridge { pid: a, peer: b, replaced: pid });
-                    self.callbacks
-                        .push_back(Callback::NeighborBridge { pid: b, peer: a, replaced: pid });
+                    self.callbacks.push_back((
+                        leave_id,
+                        Callback::NeighborBridge { pid: a, peer: b, replaced: pid },
+                    ));
+                    self.callbacks.push_back((
+                        leave_id,
+                        Callback::NeighborBridge { pid: b, peer: a, replaced: pid },
+                    ));
                 }
             }
         }
         for &n in &nbrs {
             if self.graph.contains(n) {
-                self.callbacks.push_back(Callback::NeighborDown { pid: n, peer: pid });
+                self.callbacks.push_back((leave_id, Callback::NeighborDown { pid: n, peer: pid }));
             }
         }
     }
 
     fn drain_callbacks(&mut self) {
-        while let Some(cb) = self.callbacks.pop_front() {
-            self.run_callback(cb);
+        while let Some((cause, cb)) = self.callbacks.pop_front() {
+            self.run_callback(cause, cb);
         }
+        // Between dispatches nothing is "currently executing": harness
+        // observations made now attach to the environment.
+        self.current_cause = 0;
     }
 
-    fn run_callback(&mut self, cb: Callback<M>) {
+    fn run_callback(&mut self, cause: u64, cb: Callback<M>) {
         let pid = match &cb {
             Callback::Start(p)
             | Callback::Message { to: p, .. }
@@ -958,30 +1028,35 @@ impl<M: Clone + 'static> World<M> {
             std::panic::resume_unwind(payload);
         }
         self.actors.insert(pid, actor);
+        self.current_cause = cause;
         self.apply_effects(pid, &mut effects);
         self.effect_buf = effects;
     }
 
+    /// Applies a callback's buffered effects. Every effect is caused by
+    /// the event whose callback produced it ([`World::current_cause`]):
+    /// sends become traced events with fresh ids (and seed the scheduled
+    /// delivery's cause), timer-sets propagate the cause to the future
+    /// fire, leaves cause the departure.
     fn apply_effects(&mut self, pid: ProcessId, effects: &mut Vec<Effect<M>>) {
         for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
                     self.metrics.sends += 1;
+                    let causal = Causality { id: self.fresh_id(), cause: self.current_cause };
                     if self.loss.drops(&mut self.rng) {
-                        self.trace.push(TraceEvent::Drop {
-                            from: pid,
-                            to,
-                            at: self.now,
-                        });
+                        self.trace.push_caused(
+                            TraceEvent::Drop { from: pid, to, at: self.now },
+                            causal,
+                        );
                         self.metrics.drops += 1;
-                        self.emit(ObsEvent::Drop { from: pid, to, at: self.now });
+                        self.emit(ObsEvent::Drop { from: pid, to, at: self.now }, causal);
                     } else {
-                        self.trace.push(TraceEvent::Send {
-                            from: pid,
-                            to,
-                            at: self.now,
-                        });
-                        self.emit(ObsEvent::Send { from: pid, to, at: self.now });
+                        self.trace.push_caused(
+                            TraceEvent::Send { from: pid, to, at: self.now },
+                            causal,
+                        );
+                        self.emit(ObsEvent::Send { from: pid, to, at: self.now }, causal);
                         let delay = self.delay.sample(&mut self.rng);
                         self.queue.schedule(
                             self.now + delay,
@@ -989,17 +1064,20 @@ impl<M: Clone + 'static> World<M> {
                                 from: pid,
                                 to,
                                 sent: self.now,
+                                cause: causal.id,
                                 msg,
                             },
                         );
                     }
                 }
                 Effect::SetTimer { id, delay } => {
-                    self.queue
-                        .schedule(self.now + delay, Event::Timer { pid, timer: id });
+                    self.queue.schedule(
+                        self.now + delay,
+                        Event::Timer { pid, timer: id, cause: self.current_cause },
+                    );
                 }
                 Effect::Leave => {
-                    self.depart(pid, false);
+                    self.depart(pid, false, self.current_cause);
                 }
             }
         }
@@ -1218,6 +1296,43 @@ mod tests {
         assert_eq!(f.peek_time(), pending_before);
         assert_eq!(f.metrics().delivers, 0);
         assert!(w.metrics().delivers > 0);
+    }
+
+    #[test]
+    fn fork_does_not_alias_or_inherit_the_parent_sink() {
+        let mut w: World<u32> = WorldBuilder::new(21)
+            .initial_graph(generate::ring(4))
+            .spawn(|_| Box::new(ForkEcho { received: 0 }))
+            .sink(dds_obs::ObserverSink::new(16))
+            .build();
+        w.inject(Time::from_ticks(1), ProcessId::from_raw(0), 8);
+        for _ in 0..3 {
+            assert!(w.step());
+        }
+        let mut f = w.try_fork().expect("forkable");
+        // The fork starts unobserved: no sink, empty flight recorder/trace.
+        assert!(f.take_sink().is_none(), "fork must not inherit the parent's sink");
+        assert_eq!(f.trace().len(), 0, "fork trace starts empty");
+        // Driving the fork must not feed the parent's observer.
+        let parent_events_before = {
+            let sink = w.sink.as_ref().expect("parent keeps its sink");
+            let any: &dyn Any = &**sink;
+            any.downcast_ref::<dds_obs::ObserverSink>().unwrap().report.events
+        };
+        f.run_to_quiescence();
+        let obs = w
+            .take_sink()
+            .expect("parent keeps its sink")
+            .into_any()
+            .downcast::<dds_obs::ObserverSink>()
+            .unwrap();
+        assert_eq!(
+            obs.report.events, parent_events_before,
+            "fork dispatches leaked into the parent's observer"
+        );
+        // The fork's causal ids continue past the parent's prefix, so the
+        // two never hand out overlapping ids.
+        assert!(f.next_obs_id >= w.next_obs_id);
     }
 
     #[test]

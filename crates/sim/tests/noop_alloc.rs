@@ -75,19 +75,30 @@ fn dispatch_without_sink_allocates_nothing() {
     // full revolution of the calendar queue's bucket ring so every per-tick
     // bucket has grown to hold the ring's worth of timers.
     world.run_until(Time::from_ticks(300));
-    let fires_before = world.metrics().timer_fires;
 
-    let before = ALLOCS.load(Ordering::SeqCst);
-    world.run_until(Time::from_ticks(1300));
-    let after = ALLOCS.load(Ordering::SeqCst);
-
-    let fired = world.metrics().timer_fires - fires_before;
-    assert_eq!(fired, 8 * 1000, "window actually dispatched timer events");
+    // The allocator count is process-global, so rare ambient allocations
+    // (test-harness threads, lazy runtime initialization) can land inside
+    // a window. A real kernel regression allocates in *every* window —
+    // the dispatch loop is deterministic — so measuring several windows
+    // and requiring one clean window keeps the pin exact while shedding
+    // the noise.
+    let mut cleanest = u64::MAX;
+    for window in 0..3u64 {
+        let fires_before = world.metrics().timer_fires;
+        let start = Time::from_ticks(300 + window * 1000);
+        let before = ALLOCS.load(Ordering::SeqCst);
+        world.run_until(start + TimeDelta::ticks(1000));
+        let after = ALLOCS.load(Ordering::SeqCst);
+        let fired = world.metrics().timer_fires - fires_before;
+        assert_eq!(fired, 8 * 1000, "window actually dispatched timer events");
+        cleanest = cleanest.min(after - before);
+        if cleanest == 0 {
+            break;
+        }
+    }
     assert_eq!(
-        after - before,
-        0,
-        "sink-less dispatch loop allocated {} times over {} dispatches",
-        after - before,
-        fired
+        cleanest, 0,
+        "sink-less dispatch loop allocated in every one of 3 windows \
+         (best window: {cleanest} allocations over 8000 dispatches)"
     );
 }

@@ -50,7 +50,7 @@ fn replay(mut queue: EventQueue<u32>, ops: &[Op]) -> Vec<(Time, u32)> {
                 let at = now + dds_core::time::TimeDelta::ticks(delta);
                 queue.schedule(
                     at,
-                    Event::Deliver { from: pid, to: pid, sent: now, msg: next_payload },
+                    Event::Deliver { from: pid, to: pid, sent: now, cause: 0, msg: next_payload },
                 );
                 next_payload += 1;
             }

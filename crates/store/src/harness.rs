@@ -215,7 +215,7 @@ impl StoreScenario {
             above_bound: self.above_bound(),
             ..StoreRunReport::default()
         };
-        let mut epoch_first: BTreeMap<u64, Time> = BTreeMap::new();
+        let mut epoch_first: BTreeMap<u64, (Time, ProcessId)> = BTreeMap::new();
         for &pid in &all {
             let Some(actor) = world.actor::<StoreActor>(pid) else {
                 continue;
@@ -225,13 +225,23 @@ impl StoreScenario {
             report.migrations += actor.stats.migrations;
             report.fenced += actor.stats.fenced_nacks;
             for &(at, epoch) in actor.epoch_log() {
-                let slot = epoch_first.entry(epoch).or_insert(at);
-                if at < *slot {
-                    *slot = at;
+                let slot = epoch_first.entry(epoch).or_insert((at, pid));
+                if at < slot.0 {
+                    *slot = (at, pid);
                 }
             }
         }
-        report.epoch_transitions = epoch_first.into_iter().map(|(e, t)| (t, e)).collect();
+        // Mark each reconfiguration boundary in the observation stream,
+        // attributed to the epoch's first adopter — zero-length spans, so
+        // start/end accounting stays balanced for downstream consumers.
+        for (&epoch, &(at, pid)) in &epoch_first {
+            if epoch > 1 {
+                world.observe(ObsEvent::SpanStart { name: "reconfig", pid, at });
+                world.observe(ObsEvent::SpanEnd { name: "reconfig", pid, at });
+            }
+        }
+        report.epoch_transitions =
+            epoch_first.into_iter().map(|(e, (t, _))| (t, e)).collect();
 
         for &pid in &client_pids {
             let Some(actor) = world.actor::<StoreActor>(pid) else {
