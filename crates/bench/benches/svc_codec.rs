@@ -1,0 +1,121 @@
+//! `svc_codec` — wire codec throughput for the networked service.
+//!
+//! Three measurements back the transport's batching and zero-allocation
+//! claims:
+//!
+//! - `encode_batch/reused`: encode a 64-message hot-path batch into a
+//!   caller-owned buffer that is cleared (not dropped) between rounds —
+//!   the steady state of a connection's coalesced write buffer.
+//! - `encode_batch/fresh_alloc`: the same batch into a brand-new `Vec`
+//!   every round — what the transport would pay without buffer reuse.
+//!   The gap between the two is the price of the allocation discipline.
+//! - `decode_batch`: reassemble the encoded stream through a
+//!   [`FrameReader`] fed in MTU-ish chunks and decode every frame — the
+//!   receive path as the event loop actually runs it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dds_core::process::ProcessId;
+use dds_store::msg::{OpTag, Stamp, StoreMsg};
+use dds_svc::codec::{decode_frame, encode_frame, FrameReader, WireMsg};
+use std::hint::black_box;
+
+const BATCH: usize = 64;
+
+/// The hot-path mix: one store operation's replica round, repeated.
+fn batch() -> Vec<WireMsg> {
+    let client = ProcessId::from_raw(1001);
+    let replica = ProcessId::from_raw(2);
+    let tag = OpTag { seq: 77, attempt: 1 };
+    let stamp = Stamp {
+        seq: 12345,
+        writer: 1001,
+    };
+    (0..BATCH)
+        .map(|i| match i % 4 {
+            0 => WireMsg::Proto {
+                from: client,
+                to: replica,
+                msg: StoreMsg::Query {
+                    tag,
+                    epoch: 3,
+                },
+            },
+            1 => WireMsg::Proto {
+                from: replica,
+                to: client,
+                msg: StoreMsg::QueryAck {
+                    tag,
+                    stamp,
+                    value: Some(i as u64),
+                },
+            },
+            2 => WireMsg::Proto {
+                from: client,
+                to: replica,
+                msg: StoreMsg::Store {
+                    tag,
+                    epoch: 3,
+                    stamp,
+                    value: Some(i as u64),
+                },
+            },
+            _ => WireMsg::Proto {
+                from: replica,
+                to: client,
+                msg: StoreMsg::StoreAck { tag },
+            },
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msgs = batch();
+
+    let mut group = c.benchmark_group("svc_codec");
+
+    group.bench_function("encode_batch/reused", |b| {
+        let mut buf = Vec::with_capacity(4096);
+        b.iter(|| {
+            buf.clear();
+            for m in &msgs {
+                encode_frame(&mut buf, black_box(m));
+            }
+            black_box(buf.len())
+        });
+    });
+
+    group.bench_function("encode_batch/fresh_alloc", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            for m in &msgs {
+                encode_frame(&mut buf, black_box(m));
+            }
+            black_box(buf.len())
+        });
+    });
+
+    group.bench_function("decode_batch", |b| {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_frame(&mut stream, m);
+        }
+        let mut reader = FrameReader::new();
+        b.iter(|| {
+            let mut decoded = 0usize;
+            for chunk in stream.chunks(1400) {
+                reader.extend(black_box(chunk));
+                while let Ok(Some(payload)) = reader.next_payload() {
+                    let msg = decode_frame(payload).expect("valid frame");
+                    decoded += usize::from(matches!(msg, WireMsg::Proto { .. }));
+                }
+            }
+            assert_eq!(decoded, BATCH);
+            black_box(decoded)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

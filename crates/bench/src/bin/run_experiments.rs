@@ -151,11 +151,19 @@ fn main() {
     }
     println!("(seeds fixed; rerunning reproduces these tables bit-for-bit)");
     if json {
-        let path = "BENCH_sweeps.json";
-        match std::fs::write(path, render_json(&records)) {
-            Ok(()) => eprintln!("wrote {path}"),
+        let path = std::path::Path::new("BENCH_sweeps.json");
+        // Merge rather than overwrite: records of ids this run did not
+        // produce (other experiment subsets, the networked `net1` row
+        // from `run_net`) are preserved so the baseline gate keeps
+        // seeing them.
+        let lines: Vec<(String, String)> = records
+            .iter()
+            .map(|r| (r.id.to_string(), render_record(r)))
+            .collect();
+        match dds_bench::sweeps::upsert_sweeps(path, &lines, true) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
             Err(err) => {
-                eprintln!("cannot write {path}: {err}");
+                eprintln!("cannot write {}: {err}", path.display());
                 std::process::exit(1);
             }
         }
@@ -279,40 +287,28 @@ fn write_captured(dir: &std::path::Path, id: &str, captured: capture::Captured) 
     }
 }
 
-/// Renders the records as a small self-contained JSON document (no
-/// serializer dependency; every field is numeric or a known-safe id).
-fn render_json(records: &[Record]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"threads\": {},\n  \"queue\": \"{}\",\n  \"experiments\": [\n",
-        dds_sim::parallel::thread_count(),
-        dds_sim::event::configured_queue_kind().label()
-    ));
-    for (i, r) in records.iter().enumerate() {
-        let runs_per_sec = r.runs_per_sec();
-        out.push_str(&format!(
-            "    {{\"id\": \"{}\", \"wall_ms\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.1}, \
+/// Renders one record as its single-line JSON object (no serializer
+/// dependency; every field is numeric or a known-safe id).
+fn render_record(r: &Record) -> String {
+    format!(
+        "{{\"id\": \"{}\", \"wall_ms\": {:.3}, \"runs\": {}, \"runs_per_sec\": {:.1}, \
 \"p50_delivery_latency\": {}, \"p99_delivery_latency\": {}, \
 \"p50_queue_depth\": {}, \"p99_queue_depth\": {}, \
 \"p50_critical_path\": {}, \"p99_critical_path\": {}, \
-\"crit_transit\": {}, \"crit_queueing\": {}, \"crit_processing\": {}, \"metrics\": {}}}{}\n",
-            r.id,
-            r.wall_ms,
-            r.runs,
-            runs_per_sec,
-            r.p50_delivery_latency,
-            r.p99_delivery_latency,
-            r.p50_queue_depth,
-            r.p99_queue_depth,
-            r.p50_critical_path,
-            r.p99_critical_path,
-            r.crit_transit,
-            r.crit_queueing,
-            r.crit_processing,
-            r.metrics.to_json(),
-            if i + 1 < records.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+\"crit_transit\": {}, \"crit_queueing\": {}, \"crit_processing\": {}, \"metrics\": {}}}",
+        r.id,
+        r.wall_ms,
+        r.runs,
+        r.runs_per_sec(),
+        r.p50_delivery_latency,
+        r.p99_delivery_latency,
+        r.p50_queue_depth,
+        r.p99_queue_depth,
+        r.p50_critical_path,
+        r.p99_critical_path,
+        r.crit_transit,
+        r.crit_queueing,
+        r.crit_processing,
+        r.metrics.to_json(),
+    )
 }

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sweeps;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 

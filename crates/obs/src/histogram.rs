@@ -152,6 +152,83 @@ impl Histogram {
         }
     }
 
+    /// Renders the histogram as one compact JSON line carrying only the
+    /// non-zero buckets, so a process can ship its samples to a collector
+    /// that re-assembles them losslessly with [`Histogram::parse_json`]
+    /// and [`Histogram::merge`] (the `run_net` orchestrator merges one
+    /// such line per load-generator thread). Buckets are emitted in index
+    /// order, so the line is deterministic for a given histogram.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str(&format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max
+        ));
+        let mut first = true;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("[{idx}, {c}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a histogram rendered by [`Histogram::to_json`]. Returns
+    /// `None` on any malformed input (missing keys, bucket indexes out of
+    /// range, bucket counts that do not add up to `count`) — never
+    /// panics, so a truncated line from a killed process is rejected
+    /// cleanly.
+    pub fn parse_json(text: &str) -> Option<Histogram> {
+        fn field(text: &str, key: &str) -> Option<u64> {
+            let pat = format!("\"{key}\": ");
+            let rest = &text[text.find(&pat)? + pat.len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        }
+        let count = field(text, "count")?;
+        let sum = field(text, "sum")?;
+        let min = field(text, "min")?;
+        let max = field(text, "max")?;
+        let open = text.find("\"buckets\": [")? + "\"buckets\": [".len();
+        let close = text[open..].rfind(']')? + open;
+        let mut h = Histogram::new();
+        let mut total = 0u64;
+        let body = &text[open..close];
+        for pair in body.split("], [") {
+            let pair = pair.trim_matches(|c| c == '[' || c == ']' || c == ' ');
+            if pair.is_empty() {
+                continue;
+            }
+            let (idx, c) = pair.split_once(", ")?;
+            let idx: usize = idx.parse().ok()?;
+            let c: u64 = c.parse().ok()?;
+            if idx >= BUCKETS {
+                return None;
+            }
+            h.counts[idx] += c;
+            total = total.checked_add(c)?;
+        }
+        if total != count {
+            return None;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        Some(h)
+    }
+
     /// The value at percentile `p` (in `0..=100`): the lower bound of the
     /// bucket containing the sample of that rank, clamped to the observed
     /// `min`/`max` so exact extremes survive bucketing. Returns 0 when
@@ -285,6 +362,62 @@ mod tests {
             b.record(7);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 100, 4096, 1 << 33, u64::MAX] {
+            h.record(v);
+        }
+        h.record_n(250, 1000);
+        let line = h.to_json();
+        assert!(!line.contains('\n'));
+        let back = Histogram::parse_json(&line).expect("roundtrip");
+        assert_eq!(back, h);
+        // Merging parsed halves equals recording everything in one place.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=100u64 {
+            a.record(v);
+        }
+        for v in 101..=200u64 {
+            b.record(v);
+        }
+        let mut merged = Histogram::parse_json(&a.to_json()).unwrap();
+        merged.merge(&Histogram::parse_json(&b.to_json()).unwrap());
+        let mut whole = Histogram::new();
+        for v in 1..=200u64 {
+            whole.record(v);
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(Histogram::parse_json("").is_none());
+        assert!(Histogram::parse_json("{\"count\": 1}").is_none());
+        // Truncated mid-buckets.
+        let line = {
+            let mut h = Histogram::new();
+            h.record(5);
+            h.record(500);
+            h.to_json()
+        };
+        assert!(Histogram::parse_json(&line[..line.len() - 6]).is_none());
+        // Bucket index out of range.
+        assert!(Histogram::parse_json(
+            "{\"count\": 1, \"sum\": 1, \"min\": 1, \"max\": 1, \"buckets\": [[99999, 1]]}"
+        )
+        .is_none());
+        // Counts that do not add up.
+        assert!(Histogram::parse_json(
+            "{\"count\": 3, \"sum\": 3, \"min\": 1, \"max\": 1, \"buckets\": [[1, 1]]}"
+        )
+        .is_none());
+        // Empty histogram survives.
+        let empty = Histogram::new();
+        assert_eq!(Histogram::parse_json(&empty.to_json()).unwrap(), empty);
     }
 
     #[test]

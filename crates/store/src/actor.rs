@@ -1,4 +1,5 @@
-//! The storage process: replica, client, and reconfiguration engine.
+//! The storage process as a simulator actor: replica, client, and
+//! reconfiguration engine.
 //!
 //! Every process runs the same [`StoreActor`]; roles are a matter of
 //! state. A process in the current configuration serves the two
@@ -6,6 +7,16 @@
 //! heartbeats its peers; any process accepts injected
 //! [`StoreMsg::Invoke`]s and acts as a client; the lowest-identity
 //! unsuspected replica doubles as reconfiguration coordinator.
+//!
+//! The protocol itself lives in [`crate::protocol`] as the sans-io
+//! [`StoreCore`] — the same state machine the networked `dds-svc`
+//! binaries drive over real sockets. This module is only the simulator
+//! host: it forwards each kernel callback into [`StoreCore::step`] and
+//! replays the resulting [`CoreOut`] effects through the kernel
+//! [`Context`] *in emission order*, so the kernel sees exactly the
+//! `send`/`set_timer` sequence the pre-split monolithic actor produced
+//! (byte-identical runs, pinned by the store test suite and the
+//! `run_store` CI diff).
 //!
 //! ## Fencing discipline (the safety core)
 //!
@@ -33,687 +44,106 @@
 //! churn bound (see [`crate::quorum::sustainable`]) this is the expected
 //! outcome.
 
-use std::collections::VecDeque;
-
 use dds_core::process::ProcessId;
-use dds_core::spec::register::{RegOp, RegResp};
-use dds_core::time::{Time, TimeDelta};
+use dds_core::spec::register::RegOp;
+use dds_core::time::Time;
 use dds_sim::actor::{Actor, Context};
 use dds_sim::event::TimerId;
-
 use dds_sim::snapshot::StableHasher;
 
-use crate::msg::{fp_opt_u64, fp_pids, fp_reg_op, fp_stamp, fp_tag, OpTag, Stamp, StoreMsg};
-use crate::quorum::{majority, QuorumView};
+use crate::msg::{Stamp, StoreMsg};
+use crate::protocol::{CoreIn, CoreOut, StoreCore, TimerToken};
 
-/// Static parameters of a storage deployment (same for every process).
-#[derive(Debug, Clone, PartialEq)]
-pub struct StoreParams {
-    /// The epoch-1 replica set.
-    pub initial: Vec<ProcessId>,
-    /// Target configuration size the engine repairs towards.
-    pub replica_count: usize,
-    /// Extra quorum floor from the timed-quorum sizing (clamped to the
-    /// configuration size; the majority floor always applies).
-    pub min_quorum: usize,
-    /// Read write-back (phase 2 of reads). `false` is the stale-read
-    /// mutant.
-    pub write_back: bool,
-    /// Epoch fencing. `false` is the lost-update mutant: superseded
-    /// replicas keep serving.
-    pub epoch_fencing: bool,
-    /// Per-attempt operation deadline.
-    pub op_timeout: TimeDelta,
-    /// Attempts before an operation aborts.
-    pub max_attempts: u32,
-    /// Replica heartbeat interval; `None` disables probing (and with it
-    /// automatic reconfiguration — only injected
-    /// [`StoreMsg::Reconfigure`]s move the epoch).
-    pub probe_every: Option<TimeDelta>,
-    /// Silence after which a configuration member is suspected.
-    pub suspect_after: TimeDelta,
-    /// Validity window Δ of a client's quorum view; an older view is
-    /// re-probed before use.
-    pub view_delta: TimeDelta,
-}
+pub use crate::protocol::{LoggedStoreOp, StoreParams, StoreStats};
 
-impl Default for StoreParams {
-    fn default() -> Self {
-        StoreParams {
-            initial: Vec::new(),
-            replica_count: 3,
-            min_quorum: 0,
-            write_back: true,
-            epoch_fencing: true,
-            op_timeout: TimeDelta::ticks(24),
-            max_attempts: 4,
-            probe_every: Some(TimeDelta::ticks(10)),
-            suspect_after: TimeDelta::ticks(25),
-            view_delta: TimeDelta::ticks(60),
-        }
-    }
-}
-
-/// One client operation as the actor logged it.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LoggedStoreOp {
-    /// What was invoked.
-    pub op: RegOp,
-    /// Invocation instant.
-    pub invoked: Time,
-    /// Response instant; `None` when the operation aborted.
-    pub responded: Option<Time>,
-    /// The response; `None` when the operation aborted.
-    pub response: Option<RegResp>,
-    /// Attempts consumed (1 = clean first try).
-    pub attempts: u32,
-    /// `true` when the operation gave up after `max_attempts`.
-    pub aborted: bool,
-}
-
-/// Counters exposed for reports and experiments.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StoreStats {
-    /// Operations that completed with a response.
-    pub completed: u64,
-    /// Operations that aborted (liveness loss).
-    pub aborted: u64,
-    /// Attempt retries (fenced or timed out).
-    pub retries: u64,
-    /// Fence NACKs served by this replica.
-    pub fenced_nacks: u64,
-    /// Reconfigurations this process started as coordinator.
-    pub reconfigs_started: u64,
-    /// Reconfigurations whose migration this process sent.
-    pub reconfigs_committed: u64,
-    /// Reconfigurations cancelled because a peer was already ahead.
-    pub reconfigs_cancelled: u64,
-    /// Migrations adopted.
-    pub migrations: u64,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    /// Waiting for a `ViewRep` before issuing phase 1.
-    Refresh,
-    /// Phase 1: collecting `QueryAck`s.
-    Query,
-    /// Phase 2: collecting `StoreAck`s.
-    Store,
-}
-
-#[derive(Debug, Clone)]
-struct PendingOp {
-    op: RegOp,
-    tag: OpTag,
-    invoked: Time,
-    phase: Phase,
-    /// Highest `(stamp, value)` seen in phase 1 of this attempt.
-    best_stamp: Stamp,
-    best_value: Option<u64>,
-    /// What phase 2 is installing.
-    store_stamp: Stamp,
-    store_value: Option<u64>,
-    acks: usize,
-    timer: TimerId,
-}
-
-#[derive(Debug, Clone)]
-struct RecState {
-    epoch: u64,
-    members: Vec<ProcessId>,
-    /// Epoch of the configuration being snapshotted (acks from a newer
-    /// base cancel the attempt — someone is already ahead).
-    base: u64,
-    needed: usize,
-    acks: usize,
-    stamp: Stamp,
-    value: Option<u64>,
-    started: Time,
-}
-
-/// One storage process. See the module docs for the protocol.
+/// One storage process under the simulator. A thin host around
+/// [`StoreCore`]; see the module docs for the split.
 #[derive(Debug, Clone)]
 pub struct StoreActor {
-    params: StoreParams,
-
-    // --- replica state ---
-    /// Adopted configuration epoch (0 before any adoption).
-    epoch: u64,
-    /// Adopted replica set.
-    members: Vec<ProcessId>,
-    /// Highest epoch promised via `RecQuery` (fence target).
-    promised: u64,
-    /// The member list attached to the promise.
-    promised_members: Vec<ProcessId>,
-    /// Ever held replica state (the fencing-off mutant serves iff this).
-    was_replica: bool,
-    stamp: Stamp,
-    value: Option<u64>,
-    /// Last time each current member was heard from.
-    last_heard: Vec<(ProcessId, Time)>,
-    /// Announced joiners, oldest first (replacements picked from the back
-    /// — most recently announced are most likely still present).
-    candidates: Vec<ProcessId>,
-    rec: Option<RecState>,
-    probe_timer: Option<TimerId>,
-    /// `(time, epoch)` at every adoption, for epoch-transition reporting.
-    epoch_log: Vec<(Time, u64)>,
-
-    // --- client state ---
-    view: QuorumView,
-    queue: VecDeque<RegOp>,
-    cur: Option<PendingOp>,
-    next_op_seq: u64,
-    log: Vec<LoggedStoreOp>,
-    /// Quorum thresholds used by completed operations.
-    quorums_used: Vec<u64>,
-
-    /// Counters.
-    pub stats: StoreStats,
+    core: StoreCore,
+    /// Reused output buffer for [`StoreCore::step`] (drained every
+    /// callback; kept allocated across callbacks).
+    out: Vec<CoreOut>,
+    /// Outstanding kernel-timer ↔ core-token pairs. Kernel timers are
+    /// one-shot, so entries are removed as they fire; superseded core
+    /// timers linger here until their kernel timer fires and the core
+    /// ignores the stale token — exactly the pre-split behavior, where
+    /// the actor ignored stale [`TimerId`]s directly.
+    timers: Vec<(TimerId, TimerToken)>,
 }
-
-const MAX_CANDIDATES: usize = 64;
 
 impl StoreActor {
     /// Creates a process of the deployment described by `params`.
     pub fn new(params: StoreParams) -> Self {
-        let view = QuorumView::new(1, params.initial.clone(), Time::ZERO);
         StoreActor {
-            params,
-            epoch: 0,
-            members: Vec::new(),
-            promised: 0,
-            promised_members: Vec::new(),
-            was_replica: false,
-            stamp: Stamp::ZERO,
-            value: None,
-            last_heard: Vec::new(),
-            candidates: Vec::new(),
-            rec: None,
-            probe_timer: None,
-            epoch_log: Vec::new(),
-            view,
-            queue: VecDeque::new(),
-            cur: None,
-            next_op_seq: 0,
-            log: Vec::new(),
-            quorums_used: Vec::new(),
-            stats: StoreStats::default(),
+            core: StoreCore::new(params),
+            out: Vec::new(),
+            timers: Vec::new(),
         }
+    }
+
+    /// The sans-io protocol core (shared with the networked service).
+    pub fn core(&self) -> &StoreCore {
+        &self.core
     }
 
     /// The operations this process drove as a client.
     pub fn log(&self) -> &[LoggedStoreOp] {
-        &self.log
+        self.core.log()
     }
 
     /// The operation still in flight (invoked, no response yet), if any —
     /// a run cut off by its deadline leaves at most one per client, which
     /// history extraction must record as pending.
     pub fn in_flight(&self) -> Option<(RegOp, Time)> {
-        self.cur.as_ref().map(|p| (p.op, p.invoked))
+        self.core.in_flight()
     }
 
     /// The replica's adopted epoch (0 = never a replica).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.core.epoch()
     }
 
     /// The replica's current `(stamp, value)`.
     pub fn state(&self) -> (Stamp, Option<u64>) {
-        (self.stamp, self.value)
+        self.core.state()
     }
 
     /// Epoch adoptions as `(time, epoch)`, in adoption order.
     pub fn epoch_log(&self) -> &[(Time, u64)] {
-        &self.epoch_log
+        self.core.epoch_log()
     }
 
     /// Quorum thresholds used by this client's completed operations.
     pub fn quorums_used(&self) -> &[u64] {
-        &self.quorums_used
+        self.core.quorums_used()
     }
 
-    // --- replica side -----------------------------------------------------
-
-    fn latest_config(&self) -> (u64, &[ProcessId]) {
-        if self.promised > self.epoch {
-            (self.promised, &self.promised_members)
-        } else {
-            (self.epoch, &self.members)
-        }
+    /// Counters exposed for reports and experiments.
+    pub fn stats(&self) -> &StoreStats {
+        &self.core.stats
     }
 
-    /// Whether to serve an operation phase tagged with `op_epoch`.
-    /// Returns `Ok(())` to serve, `Err(true)` to NACK with a fence,
-    /// `Err(false)` to stay silent (the client's epoch is ahead of us).
-    fn serve(&self, me: ProcessId, op_epoch: u64) -> Result<(), bool> {
-        if !self.params.epoch_fencing {
-            // Ablation: any process that ever held replica state serves
-            // any epoch.
-            return if self.was_replica { Ok(()) } else { Err(false) };
-        }
-        let (latest, _) = self.latest_config();
-        if op_epoch < latest {
-            return Err(true);
-        }
-        if op_epoch == self.epoch && self.members.contains(&me) {
-            Ok(())
-        } else {
-            Err(false)
-        }
-    }
-
-    fn fence_nack(&mut self, ctx: &mut Context<'_, StoreMsg>, to: ProcessId, tag: OpTag) {
-        self.stats.fenced_nacks += 1;
-        let (epoch, members) = self.latest_config();
-        let members = members.to_vec();
-        ctx.send(to, StoreMsg::Fenced { tag, epoch, members });
-    }
-
-    fn heard(&mut self, from: ProcessId, now: Time) {
-        if let Some(entry) = self.last_heard.iter_mut().find(|(p, _)| *p == from) {
-            entry.1 = now;
-        }
-    }
-
-    fn note_candidate(&mut self, ctx: &mut Context<'_, StoreMsg>, pid: ProcessId, forward: bool) {
-        if pid == ctx.pid() || self.candidates.contains(&pid) {
-            return;
-        }
-        self.candidates.push(pid);
-        if self.candidates.len() > MAX_CANDIDATES {
-            self.candidates.remove(0);
-        }
-        if forward {
-            // One-hop gossip so announcements reach replicas that are not
-            // adjacent to the joiner.
-            ctx.broadcast(StoreMsg::Announce2 { joiner: pid });
-        }
-    }
-
-    fn adopt_config(&mut self, ctx: &mut Context<'_, StoreMsg>, epoch: u64, members: &[ProcessId]) {
-        let now = ctx.now();
-        self.epoch = epoch;
-        self.members = members.to_vec();
-        self.members.sort_unstable();
-        self.members.dedup();
-        self.last_heard = self.members.iter().map(|&m| (m, now)).collect();
-        self.candidates.retain(|c| !self.members.contains(c));
-        self.epoch_log.push((now, epoch));
-        self.view.adopt(epoch, &self.members, now);
-        if self.members.contains(&ctx.pid()) {
-            self.was_replica = true;
-            self.ensure_probe_timer(ctx);
-        }
-        if self.rec.as_ref().is_some_and(|r| r.epoch <= epoch) {
-            self.rec = None;
-        }
-    }
-
-    fn ensure_probe_timer(&mut self, ctx: &mut Context<'_, StoreMsg>) {
-        if self.probe_timer.is_none() {
-            if let Some(every) = self.params.probe_every {
-                self.probe_timer = Some(ctx.set_timer(every));
-            }
-        }
-    }
-
-    fn start_reconfig(&mut self, ctx: &mut Context<'_, StoreMsg>, new_members: Vec<ProcessId>) {
-        if new_members.is_empty() {
-            return;
-        }
-        let epoch = self.epoch.max(self.promised).max(self.rec.as_ref().map_or(0, |r| r.epoch)) + 1;
-        self.stats.reconfigs_started += 1;
-        self.rec = Some(RecState {
-            epoch,
-            members: new_members.clone(),
-            base: self.epoch,
-            needed: majority(self.members.len()),
-            acks: 0,
-            stamp: Stamp::ZERO,
-            value: None,
-            started: ctx.now(),
-        });
-        for &m in &self.members {
-            ctx.send(
-                m,
-                StoreMsg::RecQuery {
-                    epoch,
-                    members: new_members.clone(),
-                },
-            );
-        }
-    }
-
-    fn probe_tick(&mut self, ctx: &mut Context<'_, StoreMsg>) {
-        self.probe_timer = None;
-        let me = ctx.pid();
-        if !self.members.contains(&me) {
-            return; // decommissioned: stop probing
-        }
-        if let Some(every) = self.params.probe_every {
-            self.probe_timer = Some(ctx.set_timer(every));
-            let now = ctx.now();
-            for &m in &self.members {
-                if m != me {
-                    ctx.send(m, StoreMsg::Probe { epoch: self.epoch });
-                }
-            }
-            // Suspicion: members silent past the timeout.
-            let suspected: Vec<ProcessId> = self
-                .last_heard
-                .iter()
-                .filter(|&&(p, last)| p != me && last + self.params.suspect_after < now)
-                .map(|&(p, _)| p)
-                .collect();
-            self.candidates.retain(|c| !suspected.contains(c));
-            // Coordinator duty falls on the lowest unsuspected member.
-            let coordinator = self
-                .members
-                .iter()
-                .find(|m| !suspected.contains(m))
-                .copied();
-            if coordinator != Some(me) {
-                return;
-            }
-            // An in-flight attempt gets two probe rounds before we retry.
-            if let Some(rec) = &self.rec {
-                if now < rec.started + every + every {
-                    return;
-                }
-                self.rec = None;
-            }
-            let repair_needed = !suspected.is_empty() || self.members.len() < self.params.replica_count;
-            if !repair_needed {
-                return;
-            }
-            let mut next: Vec<ProcessId> = self
-                .members
-                .iter()
-                .filter(|m| !suspected.contains(m))
-                .copied()
-                .collect();
-            // Fill from the most recently announced candidates.
-            for &c in self.candidates.iter().rev() {
-                if next.len() >= self.params.replica_count {
-                    break;
-                }
-                if !next.contains(&c) {
-                    next.push(c);
-                }
-            }
-            next.sort_unstable();
-            if next != self.members {
-                self.start_reconfig(ctx, next);
-            }
-        }
-    }
-
-    fn on_rec_ack(
-        &mut self,
-        ctx: &mut Context<'_, StoreMsg>,
-        epoch: u64,
-        base: u64,
-        stamp: Stamp,
-        value: Option<u64>,
-    ) {
-        let Some(rec) = self.rec.as_mut() else {
-            return;
-        };
-        if rec.epoch != epoch {
-            return;
-        }
-        if base > rec.base {
-            // A member already adopted a newer configuration than the one
-            // we snapshotted: our view of "old" is stale, so the snapshot
-            // would not be guaranteed to cover its completed writes.
-            self.rec = None;
-            self.stats.reconfigs_cancelled += 1;
-            return;
-        }
-        rec.acks += 1;
-        if stamp > rec.stamp {
-            rec.stamp = stamp;
-            rec.value = value;
-        }
-        if rec.acks < rec.needed {
-            return;
-        }
-        let rec = self.rec.take().expect("checked above");
-        self.stats.reconfigs_committed += 1;
-        let mut targets = self.members.clone();
-        for &m in &rec.members {
-            if !targets.contains(&m) {
-                targets.push(m);
-            }
-        }
-        for &m in &targets {
-            ctx.send(
-                m,
-                StoreMsg::Migrate {
-                    epoch: rec.epoch,
-                    members: rec.members.clone(),
-                    stamp: rec.stamp,
-                    value: rec.value,
-                },
-            );
-        }
-    }
-
-    // --- client side ------------------------------------------------------
-
-    fn phase_quorum(&self) -> usize {
-        let n = self.view.members.len();
-        majority(n).max(self.params.min_quorum.min(n))
-    }
-
-    fn start_next(&mut self, ctx: &mut Context<'_, StoreMsg>) {
-        if self.cur.is_some() {
-            return;
-        }
-        let Some(op) = self.queue.pop_front() else {
-            return;
-        };
-        let tag = OpTag {
-            seq: self.next_op_seq,
-            attempt: 1,
-        };
-        self.next_op_seq += 1;
-        let timer = ctx.set_timer(self.params.op_timeout);
-        self.cur = Some(PendingOp {
-            op,
-            tag,
-            invoked: ctx.now(),
-            phase: Phase::Refresh,
-            best_stamp: Stamp::ZERO,
-            best_value: None,
-            store_stamp: Stamp::ZERO,
-            store_value: None,
-            acks: 0,
-            timer,
-        });
-        self.begin_attempt(ctx, false);
-    }
-
-    /// Starts (or restarts) the current attempt: re-probes an expired
-    /// view, then issues phase 1. `force_refresh` is set on timeout
-    /// retries — if the view's members stopped answering, only a probe
-    /// can discover the configuration that replaced them.
-    fn begin_attempt(&mut self, ctx: &mut Context<'_, StoreMsg>, force_refresh: bool) {
-        let now = ctx.now();
-        let stale = !self.view.is_valid(now, self.params.view_delta);
-        let Some(p) = self.cur.as_mut() else { return };
-        if stale || force_refresh {
-            p.phase = Phase::Refresh;
-            p.acks = 0;
-            let mut targets = self.view.members.clone();
-            for &n in ctx.neighbors() {
-                if !targets.contains(&n) {
-                    targets.push(n);
-                }
-            }
-            for t in targets {
-                ctx.send(t, StoreMsg::ViewReq);
-            }
-        } else {
-            self.begin_query(ctx);
-        }
-    }
-
-    fn begin_query(&mut self, ctx: &mut Context<'_, StoreMsg>) {
-        let epoch = self.view.epoch;
-        let members = self.view.members.clone();
-        let Some(p) = self.cur.as_mut() else { return };
-        p.phase = Phase::Query;
-        p.acks = 0;
-        p.best_stamp = Stamp::ZERO;
-        p.best_value = None;
-        let tag = p.tag;
-        for &m in &members {
-            ctx.send(m, StoreMsg::Query { tag, epoch });
-        }
-    }
-
-    fn begin_store(&mut self, ctx: &mut Context<'_, StoreMsg>, stamp: Stamp, value: Option<u64>) {
-        let epoch = self.view.epoch;
-        let members = self.view.members.clone();
-        let Some(p) = self.cur.as_mut() else { return };
-        p.phase = Phase::Store;
-        p.acks = 0;
-        p.store_stamp = stamp;
-        p.store_value = value;
-        let tag = p.tag;
-        for &m in &members {
-            ctx.send(
-                m,
-                StoreMsg::Store {
-                    tag,
-                    epoch,
-                    stamp,
-                    value,
-                },
-            );
-        }
-    }
-
-    fn complete(&mut self, ctx: &mut Context<'_, StoreMsg>, response: RegResp) {
-        let quorum = self.phase_quorum() as u64;
-        let Some(p) = self.cur.take() else { return };
-        self.stats.completed += 1;
-        self.quorums_used.push(quorum);
-        self.log.push(LoggedStoreOp {
-            op: p.op,
-            invoked: p.invoked,
-            responded: Some(ctx.now()),
-            response: Some(response),
-            attempts: p.tag.attempt,
-            aborted: false,
-        });
-        self.start_next(ctx);
-    }
-
-    fn retry(&mut self, ctx: &mut Context<'_, StoreMsg>, force_refresh: bool) {
-        let timeout = self.params.op_timeout;
-        let max_attempts = self.params.max_attempts;
-        let Some(p) = self.cur.as_mut() else { return };
-        if p.tag.attempt >= max_attempts {
-            let p = self.cur.take().expect("just matched");
-            self.stats.aborted += 1;
-            self.log.push(LoggedStoreOp {
-                op: p.op,
-                invoked: p.invoked,
-                responded: None,
-                response: None,
-                attempts: p.tag.attempt,
-                aborted: true,
-            });
-            self.start_next(ctx);
-            return;
-        }
-        self.stats.retries += 1;
-        p.tag.attempt += 1;
-        p.timer = ctx.set_timer(timeout);
-        self.begin_attempt(ctx, force_refresh);
-    }
-
-    fn on_query_ack(&mut self, ctx: &mut Context<'_, StoreMsg>, tag: OpTag, stamp: Stamp, value: Option<u64>) {
-        let quorum = self.phase_quorum();
-        let write_back = self.params.write_back;
-        let me = ctx.pid();
-        let Some(p) = self.cur.as_mut() else { return };
-        if p.tag != tag || p.phase != Phase::Query {
-            return;
-        }
-        if stamp > p.best_stamp {
-            p.best_stamp = stamp;
-            p.best_value = value;
-        }
-        p.acks += 1;
-        if p.acks < quorum {
-            return;
-        }
-        match p.op {
-            RegOp::Write(v) => {
-                let stamp = p.best_stamp.next(me);
-                self.begin_store(ctx, stamp, Some(v));
-            }
-            RegOp::Read => {
-                let (stamp, value) = (p.best_stamp, p.best_value);
-                if write_back {
-                    self.begin_store(ctx, stamp, value);
-                } else {
-                    // Mutant: skip the write-back and answer straight from
-                    // phase 1 — a value seen in a minority can be "read"
-                    // without being made durable, so a later read may
-                    // observe an older one (new/old inversion).
-                    self.complete(ctx, RegResp::Value(value));
+    /// Steps the core with `input` and replays its outputs through the
+    /// kernel context in emission order. Allocating kernel [`TimerId`]s
+    /// during the drain (instead of mid-callback, as the monolithic
+    /// actor did) assigns the same ids: the kernel hands them out from a
+    /// per-process counter in `set_timer` call order, and the drain
+    /// preserves that order.
+    fn drive(&mut self, ctx: &mut Context<'_, StoreMsg>, input: CoreIn) {
+        let mut out = std::mem::take(&mut self.out);
+        self.core
+            .step(ctx.now(), ctx.pid(), ctx.neighbors(), input, &mut out);
+        for effect in out.drain(..) {
+            match effect {
+                CoreOut::Send { to, msg } => ctx.send(to, msg),
+                CoreOut::SetTimer { token, delay } => {
+                    let id = ctx.set_timer(delay);
+                    self.timers.push((id, token));
                 }
             }
         }
-    }
-
-    fn on_store_ack(&mut self, ctx: &mut Context<'_, StoreMsg>, tag: OpTag) {
-        let quorum = self.phase_quorum();
-        let Some(p) = self.cur.as_mut() else { return };
-        if p.tag != tag || p.phase != Phase::Store {
-            return;
-        }
-        p.acks += 1;
-        if p.acks < quorum {
-            return;
-        }
-        let response = match p.op {
-            RegOp::Write(_) => RegResp::Ack,
-            RegOp::Read => RegResp::Value(p.store_value),
-        };
-        self.complete(ctx, response);
-    }
-}
-
-impl StoreActor {
-    /// Absorbs one logged operation into a fingerprint.
-    fn fp_logged(op: &LoggedStoreOp, h: &mut StableHasher) {
-        fp_reg_op(&op.op, h);
-        h.write_u64(op.invoked.as_ticks());
-        match op.responded {
-            Some(t) => {
-                h.write_u8(1);
-                h.write_u64(t.as_ticks());
-            }
-            None => h.write_u8(0),
-        }
-        match op.response {
-            Some(RegResp::Value(v)) => {
-                h.write_u8(1);
-                fp_opt_u64(&v, h);
-            }
-            Some(RegResp::Ack) => h.write_u8(2),
-            None => h.write_u8(0),
-        }
-        h.write_u32(op.attempts);
-        h.write_bool(op.aborted);
+        self.out = out;
     }
 }
 
@@ -723,233 +153,30 @@ impl Actor<StoreMsg> for StoreActor {
     }
 
     fn fingerprint(&self, h: &mut StableHasher) -> bool {
-        // `params` is immutable run configuration — identical in every
-        // state of one exploration — so it stays out of the hash. Every
-        // mutable field is included, `log`/`quorums_used`/`stats` too:
-        // the final-state checks read them, so two states differing only
-        // there must not be identified.
-        h.write_u64(self.epoch);
-        fp_pids(&self.members, h);
-        h.write_u64(self.promised);
-        fp_pids(&self.promised_members, h);
-        h.write_bool(self.was_replica);
-        fp_stamp(&self.stamp, h);
-        fp_opt_u64(&self.value, h);
-        h.write_usize(self.last_heard.len());
-        for (pid, t) in &self.last_heard {
-            h.write_u64(pid.as_raw());
-            h.write_u64(t.as_ticks());
+        self.core.fingerprint(h);
+        // The timer table is adapter state, but it is behavior-relevant:
+        // it decides which core token a future kernel timer resolves to.
+        h.write_usize(self.timers.len());
+        for (id, token) in &self.timers {
+            h.write_u64(id.as_raw());
+            h.write_u64(token.as_raw());
         }
-        fp_pids(&self.candidates, h);
-        match &self.rec {
-            Some(rec) => {
-                h.write_u8(1);
-                h.write_u64(rec.epoch);
-                fp_pids(&rec.members, h);
-                h.write_u64(rec.base);
-                h.write_usize(rec.needed);
-                h.write_usize(rec.acks);
-                fp_stamp(&rec.stamp, h);
-                fp_opt_u64(&rec.value, h);
-                h.write_u64(rec.started.as_ticks());
-            }
-            None => h.write_u8(0),
-        }
-        match self.probe_timer {
-            Some(id) => {
-                h.write_u8(1);
-                h.write_u64(id.as_raw());
-            }
-            None => h.write_u8(0),
-        }
-        h.write_usize(self.epoch_log.len());
-        for (t, e) in &self.epoch_log {
-            h.write_u64(t.as_ticks());
-            h.write_u64(*e);
-        }
-        h.write_u64(self.view.epoch);
-        fp_pids(&self.view.members, h);
-        h.write_u64(self.view.refreshed_at.as_ticks());
-        h.write_usize(self.queue.len());
-        for op in &self.queue {
-            fp_reg_op(op, h);
-        }
-        match &self.cur {
-            Some(p) => {
-                h.write_u8(1);
-                fp_reg_op(&p.op, h);
-                fp_tag(&p.tag, h);
-                h.write_u64(p.invoked.as_ticks());
-                h.write_u8(match p.phase {
-                    Phase::Refresh => 0,
-                    Phase::Query => 1,
-                    Phase::Store => 2,
-                });
-                fp_stamp(&p.best_stamp, h);
-                fp_opt_u64(&p.best_value, h);
-                fp_stamp(&p.store_stamp, h);
-                fp_opt_u64(&p.store_value, h);
-                h.write_usize(p.acks);
-                h.write_u64(p.timer.as_raw());
-            }
-            None => h.write_u8(0),
-        }
-        h.write_u64(self.next_op_seq);
-        h.write_usize(self.log.len());
-        for op in &self.log {
-            Self::fp_logged(op, h);
-        }
-        h.write_usize(self.quorums_used.len());
-        for q in &self.quorums_used {
-            h.write_u64(*q);
-        }
-        h.write_u64(self.stats.completed);
-        h.write_u64(self.stats.aborted);
-        h.write_u64(self.stats.retries);
-        h.write_u64(self.stats.fenced_nacks);
-        h.write_u64(self.stats.reconfigs_started);
-        h.write_u64(self.stats.reconfigs_committed);
-        h.write_u64(self.stats.reconfigs_cancelled);
-        h.write_u64(self.stats.migrations);
         true
     }
 
     fn on_start(&mut self, ctx: &mut Context<'_, StoreMsg>) {
-        let me = ctx.pid();
-        self.view.refreshed_at = ctx.now();
-        ctx.broadcast(StoreMsg::Announce);
-        if self.params.initial.contains(&me) {
-            let initial = self.params.initial.clone();
-            self.adopt_config(ctx, 1, &initial);
-        }
+        self.drive(ctx, CoreIn::Start);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, StoreMsg>, from: ProcessId, msg: StoreMsg) {
-        let now = ctx.now();
-        match msg {
-            StoreMsg::Invoke(op) => {
-                self.queue.push_back(op);
-                self.start_next(ctx);
-            }
-            StoreMsg::Reconfigure { members } => {
-                if self.members.contains(&ctx.pid()) {
-                    let mut members = members;
-                    members.sort_unstable();
-                    members.dedup();
-                    self.start_reconfig(ctx, members);
-                }
-            }
-
-            StoreMsg::Query { tag, epoch } => match self.serve(ctx.pid(), epoch) {
-                Ok(()) => ctx.send(
-                    from,
-                    StoreMsg::QueryAck {
-                        tag,
-                        stamp: self.stamp,
-                        value: self.value,
-                    },
-                ),
-                Err(true) => self.fence_nack(ctx, from, tag),
-                Err(false) => {}
-            },
-            StoreMsg::Store { tag, epoch, stamp, value } => match self.serve(ctx.pid(), epoch) {
-                Ok(()) => {
-                    if stamp > self.stamp {
-                        self.stamp = stamp;
-                        self.value = value;
-                    }
-                    ctx.send(from, StoreMsg::StoreAck { tag });
-                }
-                Err(true) => self.fence_nack(ctx, from, tag),
-                Err(false) => {}
-            },
-            StoreMsg::ViewReq => {
-                let (epoch, members) = if self.was_replica {
-                    (self.epoch, self.members.clone())
-                } else {
-                    (self.view.epoch, self.view.members.clone())
-                };
-                ctx.send(from, StoreMsg::ViewRep { epoch, members });
-            }
-
-            StoreMsg::QueryAck { tag, stamp, value } => self.on_query_ack(ctx, tag, stamp, value),
-            StoreMsg::StoreAck { tag } => self.on_store_ack(ctx, tag),
-            StoreMsg::Fenced { tag, epoch, members } => {
-                self.view.adopt(epoch, &members, now);
-                if self.cur.as_ref().is_some_and(|p| p.tag == tag) {
-                    self.retry(ctx, false);
-                }
-            }
-            StoreMsg::ViewRep { epoch, members } => {
-                self.view.adopt(epoch, &members, now);
-                if self.cur.as_ref().is_some_and(|p| p.phase == Phase::Refresh) {
-                    self.begin_query(ctx);
-                }
-            }
-
-            StoreMsg::Announce => self.note_candidate(ctx, from, true),
-            StoreMsg::Announce2 { joiner } => self.note_candidate(ctx, joiner, false),
-            StoreMsg::Probe { epoch: _ } => {
-                self.heard(from, now);
-                ctx.send(
-                    from,
-                    StoreMsg::ProbeAck {
-                        epoch: self.epoch,
-                        candidates: self.candidates.clone(),
-                    },
-                );
-            }
-            StoreMsg::ProbeAck { epoch: _, candidates } => {
-                self.heard(from, now);
-                for c in candidates {
-                    self.note_candidate(ctx, c, false);
-                }
-            }
-
-            StoreMsg::RecQuery { epoch, members } => {
-                self.heard(from, now);
-                if epoch > self.promised && epoch > self.epoch {
-                    self.promised = epoch;
-                    self.promised_members = members;
-                    ctx.send(
-                        from,
-                        StoreMsg::RecAck {
-                            epoch,
-                            base: self.epoch,
-                            stamp: self.stamp,
-                            value: self.value,
-                        },
-                    );
-                }
-            }
-            StoreMsg::RecAck { epoch, base, stamp, value } => {
-                self.heard(from, now);
-                self.on_rec_ack(ctx, epoch, base, stamp, value);
-            }
-            StoreMsg::Migrate { epoch, members, stamp, value } => {
-                self.heard(from, now);
-                if epoch >= self.epoch && epoch >= self.promised && epoch > 0 {
-                    if stamp > self.stamp {
-                        self.stamp = stamp;
-                        self.value = value;
-                    }
-                    self.was_replica = true;
-                    self.stats.migrations += 1;
-                    self.adopt_config(ctx, epoch, &members);
-                    ctx.send(from, StoreMsg::MigrateAck { epoch });
-                }
-            }
-            StoreMsg::MigrateAck { epoch: _ } => self.heard(from, now),
-        }
+        self.drive(ctx, CoreIn::Message { from, msg });
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, StoreMsg>, timer: TimerId) {
-        if self.probe_timer == Some(timer) {
-            self.probe_tick(ctx);
+        let Some(pos) = self.timers.iter().position(|&(id, _)| id == timer) else {
             return;
-        }
-        if self.cur.as_ref().is_some_and(|p| p.timer == timer) {
-            self.retry(ctx, true);
-        }
+        };
+        let (_, token) = self.timers.remove(pos);
+        self.drive(ctx, CoreIn::Timer(token));
     }
 }

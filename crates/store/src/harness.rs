@@ -221,9 +221,9 @@ impl StoreScenario {
                 continue;
             };
             report.max_epoch = report.max_epoch.max(actor.epoch());
-            report.reconfigs += actor.stats.reconfigs_committed;
-            report.migrations += actor.stats.migrations;
-            report.fenced += actor.stats.fenced_nacks;
+            report.reconfigs += actor.stats().reconfigs_committed;
+            report.migrations += actor.stats().migrations;
+            report.fenced += actor.stats().fenced_nacks;
             for &(at, epoch) in actor.epoch_log() {
                 let slot = epoch_first.entry(epoch).or_insert((at, pid));
                 if at < slot.0 {
@@ -247,9 +247,9 @@ impl StoreScenario {
             let Some(actor) = world.actor::<StoreActor>(pid) else {
                 continue;
             };
-            report.completed += actor.stats.completed;
-            report.aborted += actor.stats.aborted;
-            report.retries += actor.stats.retries;
+            report.completed += actor.stats().completed;
+            report.aborted += actor.stats().aborted;
+            report.retries += actor.stats().retries;
             for op in actor.log() {
                 if let Some(responded) = op.responded {
                     report.latency.record((responded - op.invoked).as_ticks());

@@ -39,9 +39,11 @@
 pub mod actor;
 pub mod harness;
 pub mod msg;
+pub mod protocol;
 pub mod quorum;
 
 pub use actor::{LoggedStoreOp, StoreActor, StoreParams, StoreStats};
 pub use harness::{history_from_store, StoreRunReport, StoreScenario};
 pub use msg::{OpTag, Stamp, StoreMsg};
+pub use protocol::{CoreIn, CoreOut, StoreCore, TimerToken};
 pub use quorum::{QuorumView, TimedQuorumSpec};

@@ -1,0 +1,117 @@
+//! Minimal readiness polling over `poll(2)`.
+//!
+//! The build is offline (no libc crate), but std already links the C
+//! library on every unix target, so the one syscall wrapper the event
+//! loop needs is declared directly. `poll` is the right primitive here:
+//! the fd sets are tiny (a listener plus a handful of peer connections),
+//! rebuilt per iteration from live connection state, so the O(n) scan is
+//! noise and no registration state can go stale.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readable readiness (`POLLIN`).
+pub const POLL_IN: i16 = 0x001;
+/// Writable readiness (`POLLOUT`).
+pub const POLL_OUT: i16 = 0x004;
+/// Error condition (`POLLERR`) — always reported, never requested.
+pub const POLL_ERR: i16 = 0x008;
+/// Peer hung up (`POLLHUP`) — always reported, never requested.
+pub const POLL_HUP: i16 = 0x010;
+
+/// One entry of the `poll(2)` fd array (`struct pollfd`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events ([`POLL_IN`] / [`POLL_OUT`]).
+    pub events: i16,
+    /// Returned events (includes [`POLL_ERR`] / [`POLL_HUP`]).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watches `fd` for the given readiness.
+    pub fn new(fd: RawFd, read: bool, write: bool) -> Self {
+        let mut events = 0;
+        if read {
+            events |= POLL_IN;
+        }
+        if write {
+            events |= POLL_OUT;
+        }
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the fd came back readable (or in an error/hangup state,
+    /// which a read will surface as 0/`Err`).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLL_IN | POLL_ERR | POLL_HUP) != 0
+    }
+
+    /// Whether the fd came back writable.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLL_OUT | POLL_ERR | POLL_HUP) != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Blocks until any watched fd is ready or `timeout_ms` elapses
+/// (`None` = block indefinitely). Returns the number of ready entries;
+/// `fds[i].revents` carries per-fd readiness. `EINTR` is treated as a
+/// zero-ready wakeup (the event loop re-derives its timeout anyway).
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: Option<u32>) -> io::Result<usize> {
+    for f in fds.iter_mut() {
+        f.revents = 0;
+    }
+    let timeout = match timeout_ms {
+        None => -1,
+        // poll takes an i32 of milliseconds; clamp rather than wrap.
+        Some(ms) => ms.min(i32::MAX as u32) as i32,
+    };
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn pipe_readiness_is_reported() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), true, false)];
+        // Nothing to read yet: times out.
+        assert_eq!(poll_fds(&mut fds, Some(0)).unwrap(), 0);
+        assert!(!fds[0].readable());
+        a.write_all(b"x").unwrap();
+        assert_eq!(poll_fds(&mut fds, Some(1000)).unwrap(), 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn writable_socket_reports_pollout() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), false, true)];
+        assert_eq!(poll_fds(&mut fds, Some(1000)).unwrap(), 1);
+        assert!(fds[0].writable());
+    }
+}

@@ -1,0 +1,177 @@
+//! A calendar-queue timer wheel for the event loop.
+//!
+//! Same idiom as the simulator's calendar event queue: time is divided
+//! into fixed-width slots and a timer is filed in the slot its deadline
+//! falls into, modulo the wheel size. Expiry walks the slots between the
+//! last-seen time and `now`, popping entries whose deadline has passed
+//! and leaving later-lap entries in place. Operations are O(1) amortized
+//! for the protocol's short timers (operation deadlines, probe ticks),
+//! with slot `Vec`s retained across laps so the steady state allocates
+//! nothing.
+//!
+//! Tokens are the sans-io core's [`TimerToken`]s; the wheel never
+//! cancels — the core ignores stale tokens, matching the simulator's
+//! one-shot kernel timers.
+
+use dds_store::protocol::TimerToken;
+
+/// Slot width in milliseconds. Protocol timers are tens to hundreds of
+/// milliseconds, so 4 ms slots keep firing error well under the
+/// protocol's own tolerances.
+const SLOT_MS: u64 = 4;
+/// Number of slots; one lap covers `SLOT_MS * SLOTS` = ~2 s. Longer
+/// timers simply survive extra laps.
+const SLOTS: usize = 512;
+
+/// A fixed-size timer wheel of `(deadline_ms, token)` entries.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<(u64, TimerToken)>>,
+    /// The time up to which slots have been drained.
+    drained_ms: u64,
+    len: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimerWheel {
+    /// An empty wheel starting at time zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            drained_ms: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn slot_of(deadline_ms: u64) -> usize {
+        ((deadline_ms / SLOT_MS) % SLOTS as u64) as usize
+    }
+
+    /// Files `token` to fire once `deadline_ms` is reached. A deadline
+    /// already in the past fires on the next [`TimerWheel::expire`].
+    pub fn schedule(&mut self, deadline_ms: u64, token: TimerToken) {
+        // A deadline before the drained watermark would land in a slot
+        // the expiry cursor has already passed; clamp it forward so it
+        // fires on the very next expire call.
+        let deadline_ms = deadline_ms.max(self.drained_ms);
+        self.slots[Self::slot_of(deadline_ms)].push((deadline_ms, token));
+        self.len += 1;
+    }
+
+    /// Pops every timer with `deadline <= now_ms` into `out` (appended;
+    /// not cleared), advancing the wheel's watermark to `now_ms`.
+    pub fn expire(&mut self, now_ms: u64, out: &mut Vec<TimerToken>) {
+        if now_ms < self.drained_ms {
+            return; // non-monotone clock reading: nothing new can be due
+        }
+        if self.len == 0 {
+            self.drained_ms = now_ms;
+            return;
+        }
+        // Walk each slot between the watermark and now once. If the span
+        // exceeds a full lap, every slot is visited exactly once.
+        let first = self.drained_ms / SLOT_MS;
+        let last = now_ms / SLOT_MS;
+        let span = (last - first + 1).min(SLOTS as u64);
+        for s in 0..span {
+            let idx = ((first + s) % SLOTS as u64) as usize;
+            let slot = &mut self.slots[idx];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].0 <= now_ms {
+                    out.push(slot.swap_remove(i).1);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.drained_ms = self.drained_ms.max(now_ms);
+    }
+
+    /// Earliest pending deadline, or `None` when empty. O(slots) scan —
+    /// the wheel is small and this runs once per loop iteration to
+    /// derive the poll timeout.
+    pub fn next_deadline(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        self.slots
+            .iter()
+            .flatten()
+            .map(|&(d, _)| d)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(n: u64) -> TimerToken {
+        TimerToken(n)
+    }
+
+    #[test]
+    fn fires_in_deadline_windows() {
+        let mut w = TimerWheel::new();
+        w.schedule(10, tok(1));
+        w.schedule(50, tok(2));
+        w.schedule(5000, tok(3)); // multiple laps out
+        assert_eq!(w.next_deadline(), Some(10));
+        let mut fired = Vec::new();
+        w.expire(9, &mut fired);
+        assert!(fired.is_empty());
+        w.expire(30, &mut fired);
+        assert_eq!(fired, vec![tok(1)]);
+        fired.clear();
+        w.expire(4999, &mut fired);
+        assert_eq!(fired, vec![tok(2)]);
+        fired.clear();
+        w.expire(5003, &mut fired);
+        assert_eq!(fired, vec![tok(3)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_slot_different_laps_do_not_cross_fire() {
+        let mut w = TimerWheel::new();
+        let lap = SLOT_MS * SLOTS as u64;
+        w.schedule(8, tok(1));
+        w.schedule(8 + lap, tok(2)); // same slot, one lap later
+        let mut fired = Vec::new();
+        w.expire(100, &mut fired);
+        assert_eq!(fired, vec![tok(1)]);
+        fired.clear();
+        w.expire(8 + lap, &mut fired);
+        assert_eq!(fired, vec![tok(2)]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately_and_len_tracks() {
+        let mut w = TimerWheel::new();
+        let mut fired = Vec::new();
+        w.expire(1000, &mut fired); // advance watermark with empty wheel
+        w.schedule(3, tok(7)); // already past: clamped to watermark
+        assert_eq!(w.len(), 1);
+        w.expire(1000, &mut fired);
+        assert_eq!(fired, vec![tok(7)]);
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.next_deadline(), None);
+    }
+}
