@@ -33,11 +33,28 @@
 //!   promised away let a write complete against a configuration whose
 //!   state was already migrated, so the write vanishes from the new
 //!   epoch — a lost update the atomicity checker flags.
+//!
+//! SCD-broadcast mutants (`dds-protocols::scd`, judged by the set-order
+//! oracle `check_world` rather than a history checker):
+//!
+//! - **scd-split** — delivery sets are split into singletons in buffer
+//!   insertion order; two concurrent broadcasts then surface in opposite
+//!   orders at their origins (MS-ordering crossed).
+//! - **scd-cutoff** — the flush cutoff lags by one tick instead of the
+//!   flood-latency bound, so an in-flight message lands in a later set at
+//!   the remote end than at its origin (MS-ordering crossed again, but by
+//!   premature delivery rather than set shattering).
+//! - **scd-self** — own broadcasts are marked seen without being
+//!   buffered; the origin never delivers its own message (self-delivery
+//!   violated).
 
 use dds_core::process::ProcessId;
 use dds_core::spec::register::{check_atomic, RegOp};
 use dds_core::time::{Time, TimeDelta};
 use dds_net::graph::Graph;
+use dds_protocols::scd::{
+    check_world as check_scd_world, ScdActor, ScdCall, ScdConfig, ScdFault, ScdMsg,
+};
 use dds_registers::base::ObjectState;
 use dds_registers::construction::Construction;
 use dds_registers::harness::CrashEvent;
@@ -96,6 +113,12 @@ pub fn suite() -> Vec<Subject> {
         (store_writeback_target, false, true),
         (store_fencing_target, true, false),
         (store_fencing_target, false, true),
+        (scd_split_target, true, false),
+        (scd_split_target, false, true),
+        (scd_cutoff_target, true, false),
+        (scd_cutoff_target, false, true),
+        (scd_self_target, true, false),
+        (scd_self_target, false, true),
     ];
     subjects.push(Subject {
         build: || Box::new(store_reconfig_target()),
@@ -603,6 +626,78 @@ fn store_fencing_target(epoch_fencing: bool) -> WorldTarget<StoreMsg> {
     .with_fork()
 }
 
+/// The shared SCD mutant scenario: a 3-process line where the two
+/// endpoints broadcast concurrently at `t = 1`. With the staggered
+/// two-tick flush period both endpoints flush at `t = 4` with cutoff 1
+/// and batch both messages into one set (the middle process relays each
+/// flood in one hop, so everything has arrived by `t = 3`). Each fault
+/// breaks that agreement its own way; all three are deterministic on the
+/// default schedule (fixed delays), so witnesses shrink toward empty
+/// plans and exploration probes the neighborhood.
+fn scd_target(family: &'static str, fault: ScdFault) -> WorldTarget<ScdMsg> {
+    let suffix = if fault == ScdFault::None {
+        "correct"
+    } else {
+        "mutant"
+    };
+    let config =
+        ScdConfig::new(2, TimeDelta::TICK, TimeDelta::ticks(2)).with_fault(fault);
+    WorldTarget::new(
+        format!("{family}/{suffix}"),
+        Time::from_ticks(12),
+        move || {
+            let mut world = WorldBuilder::new(5)
+                .initial_graph(dds_net::generate::path(3))
+                .delay(DelayModel::Fixed(TimeDelta::TICK))
+                .spawn(move |_| Box::new(ScdActor::new(config)))
+                .build();
+            world.inject(
+                Time::from_ticks(1),
+                ProcessId::from_raw(0),
+                ScdMsg::Invoke(ScdCall::Tag(10)),
+            );
+            world.inject(
+                Time::from_ticks(1),
+                ProcessId::from_raw(2),
+                ScdMsg::Invoke(ScdCall::Tag(20)),
+            );
+            world
+        },
+        |world: &World<ScdMsg>| {
+            check_scd_world(world).map_err(|v| Violation {
+                reason: v.reason,
+                details: v.details,
+            })
+        },
+    )
+    .with_reduction()
+    .with_fork()
+}
+
+/// Set-constraint ablation: singleton sets in insertion order.
+fn scd_split_target(correct: bool) -> WorldTarget<ScdMsg> {
+    scd_target(
+        "scd-split",
+        if correct { ScdFault::None } else { ScdFault::SplitSets },
+    )
+}
+
+/// Containment ablation: the flush cutoff ignores the flood-latency lag.
+fn scd_cutoff_target(correct: bool) -> WorldTarget<ScdMsg> {
+    scd_target(
+        "scd-cutoff",
+        if correct { ScdFault::None } else { ScdFault::EagerCutoff },
+    )
+}
+
+/// Self-inclusion ablation: own broadcasts are never buffered.
+fn scd_self_target(correct: bool) -> WorldTarget<ScdMsg> {
+    scd_target(
+        "scd-self",
+        if correct { ScdFault::None } else { ScdFault::SkipSelf },
+    )
+}
+
 const RECONFIG_WRITER: u64 = 4;
 const RECONFIG_READER: u64 = 5;
 
@@ -839,6 +934,52 @@ mod tests {
     }
 
     #[test]
+    fn scd_mutants_are_caught_and_correct_ones_survive() {
+        for mk in [
+            scd_split_target as fn(bool) -> WorldTarget<ScdMsg>,
+            scd_cutoff_target,
+            scd_self_target,
+        ] {
+            let mut correct = mk(true);
+            let name = correct.name().to_string();
+            let out = explore(&mut correct, budget());
+            assert!(
+                out.counterexample.is_none(),
+                "{name}: correct SCD flagged: {:?}",
+                out.counterexample
+            );
+            let mut mutant = mk(false);
+            let name = mutant.name().to_string();
+            let mut ce = explore(&mut mutant, budget()).counterexample;
+            if ce.is_none() {
+                ce = fuzz(&mut mutant, 1, 300, 64).counterexample;
+            }
+            let ce = ce.unwrap_or_else(|| panic!("{name}: mutant must be caught"));
+            assert!(
+                ce.plan.len() <= 20,
+                "{name}: witness must shrink to <= 20 decisions, got {}",
+                ce.plan.len()
+            );
+        }
+    }
+
+    #[test]
+    fn scd_witnesses_are_byte_reproducible_on_the_fork_engine() {
+        for mk in [
+            scd_split_target as fn(bool) -> WorldTarget<ScdMsg>,
+            scd_cutoff_target,
+            scd_self_target,
+        ] {
+            let a = explore_fork(&mut mk(false), budget()).expect("SCD targets fork");
+            let b = explore_fork(&mut mk(false), budget()).expect("SCD targets fork");
+            let pa = a.counterexample.expect("fork engine catches the mutant");
+            let pb = b.counterexample.expect("fork engine catches the mutant");
+            assert_eq!(pa.plan, pb.plan, "witness plans must be byte-identical");
+            assert!(pa.plan.len() <= 20);
+        }
+    }
+
+    #[test]
     fn store_reconfig_sweep_is_clean() {
         let out = explore(&mut store_reconfig_target(), budget());
         assert!(
@@ -940,6 +1081,9 @@ mod tests {
             ("flood/correct", (|| Box::new(flood_target(true)) as Box<dyn Target>) as fn() -> Box<dyn Target>),
             ("flood/mutant", || Box::new(flood_target(false)) as Box<dyn Target>),
             ("race/mutant", || Box::new(race_target(false)) as Box<dyn Target>),
+            ("scd-split/mutant", || Box::new(scd_split_target(false)) as Box<dyn Target>),
+            ("scd-cutoff/mutant", || Box::new(scd_cutoff_target(false)) as Box<dyn Target>),
+            ("scd-self/mutant", || Box::new(scd_self_target(false)) as Box<dyn Target>),
         ] {
             let t1 = explore_parallel_with(1, build, budget());
             let t8 = explore_parallel_with(8, build, budget());

@@ -224,6 +224,183 @@ pub fn check_atomic(history: &RegisterHistory) -> Result<Linearizability, CheckE
     }
 }
 
+/// Outcome of a sequential-consistency check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeqConsistency {
+    /// A witness total order exists; the indices order the records of the
+    /// history into one legal sequential execution that respects every
+    /// process's program order (but not necessarily real time).
+    SequentiallyConsistent {
+        /// Indices into `history.records()` in witness order.
+        witness: Vec<usize>,
+    },
+    /// No such total order exists.
+    NotSequentiallyConsistent,
+}
+
+impl SeqConsistency {
+    /// `true` when the history is sequentially consistent.
+    pub const fn is_sequentially_consistent(&self) -> bool {
+        matches!(self, SeqConsistency::SequentiallyConsistent { .. })
+    }
+}
+
+impl fmt::Display for SeqConsistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqConsistency::SequentiallyConsistent { witness } => {
+                write!(f, "sequentially consistent ({} ops)", witness.len())
+            }
+            SeqConsistency::NotSequentiallyConsistent => {
+                write!(f, "NOT sequentially consistent")
+            }
+        }
+    }
+}
+
+/// Checks **sequential consistency** of a register history: is there a
+/// single total order of the operations that (a) respects each process's
+/// *program order* and (b) makes every read return the most recently
+/// written value? Unlike [`check_atomic`] the order need **not** respect
+/// real time across processes — a read may legally return a value that was
+/// already overwritten in real time, as long as no single process observes
+/// values out of order. Every linearizable history is sequentially
+/// consistent; the converse fails, and the gap is exactly what the
+/// SCD-derived register in `dds-protocols` exploits (local reads, globally
+/// ordered writes).
+///
+/// Pending operations are treated like in [`check_atomic`]: a pending
+/// write may or may not take effect, a pending read is ignored.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] when the history is malformed, larger than 128
+/// operations, or has completed operations without response values.
+pub fn check_sequentially_consistent(
+    history: &RegisterHistory,
+) -> Result<SeqConsistency, CheckError> {
+    let n = history.len();
+    if n > 128 {
+        return Err(CheckError::TooLarge(n));
+    }
+    if !history.is_well_formed() {
+        return Err(CheckError::MalformedHistory);
+    }
+    for (i, r) in history.records().iter().enumerate() {
+        if r.is_complete() && r.response.is_none() {
+            return Err(CheckError::MissingResponse(i));
+        }
+    }
+
+    let records = history.records();
+    // Program order: per-process record indices, in invocation order
+    // (well-formedness makes per-process operations non-overlapping, so
+    // invocation order is the program order).
+    let mut procs: Vec<crate::process::ProcessId> = Vec::new();
+    let mut per_proc: Vec<Vec<usize>> = Vec::new();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (records[i].invoked, i));
+    for i in order {
+        let p = records[i].process;
+        match procs.iter().position(|&q| q == p) {
+            Some(k) => per_proc[k].push(i),
+            None => {
+                procs.push(p);
+                per_proc.push(vec![i]);
+            }
+        }
+    }
+
+    // DFS over "next operation per process", memoized on the progress
+    // vector plus the index of the last write placed (n == initial value).
+    let mut memo: HashSet<(Vec<usize>, usize)> = HashSet::new();
+    let mut witness: Vec<usize> = Vec::with_capacity(n);
+
+    fn dfs(
+        records: &[RegisterRecord],
+        per_proc: &[Vec<usize>],
+        next: &mut Vec<usize>,
+        last_write_idx: usize,
+        memo: &mut HashSet<(Vec<usize>, usize)>,
+        witness: &mut Vec<usize>,
+    ) -> bool {
+        let n = records.len();
+        // Success when every process has consumed all *completed* ops —
+        // pending tails (at most the last op per process) may stay
+        // unplaced.
+        if per_proc
+            .iter()
+            .zip(next.iter())
+            .all(|(ops, &k)| ops[k..].iter().all(|&i| !records[i].is_complete()))
+        {
+            return true;
+        }
+        if !memo.insert((next.clone(), last_write_idx)) {
+            return false;
+        }
+        let last_write_val = if last_write_idx == n {
+            None
+        } else {
+            match records[last_write_idx].op {
+                RegOp::Write(v) => Some(v),
+                RegOp::Read => unreachable!("last write index points at a read"),
+            }
+        };
+        for p in 0..per_proc.len() {
+            let Some(&i) = per_proc[p].get(next[p]) else {
+                continue;
+            };
+            let r = &records[i];
+            match (&r.op, &r.response) {
+                (RegOp::Read, Some(RegResp::Value(v))) => {
+                    if *v == last_write_val {
+                        next[p] += 1;
+                        witness.push(i);
+                        if dfs(records, per_proc, next, last_write_idx, memo, witness) {
+                            return true;
+                        }
+                        witness.pop();
+                        next[p] -= 1;
+                    }
+                }
+                (RegOp::Read, _) => {
+                    // Pending read: skip it for good (it observed nothing).
+                    next[p] += 1;
+                    if dfs(records, per_proc, next, last_write_idx, memo, witness) {
+                        return true;
+                    }
+                    next[p] -= 1;
+                }
+                (RegOp::Write(_), _) => {
+                    next[p] += 1;
+                    witness.push(i);
+                    if dfs(records, per_proc, next, i, memo, witness) {
+                        return true;
+                    }
+                    witness.pop();
+                    next[p] -= 1;
+                    if !r.is_complete() {
+                        // A pending write may also never take effect.
+                        next[p] += 1;
+                        if dfs(records, per_proc, next, last_write_idx, memo, witness) {
+                            return true;
+                        }
+                        next[p] -= 1;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    let mut next = vec![0usize; per_proc.len()];
+    if dfs(records, &per_proc, &mut next, n, &mut memo, &mut witness) {
+        Ok(SeqConsistency::SequentiallyConsistent { witness })
+    } else {
+        Ok(SeqConsistency::NotSequentiallyConsistent)
+    }
+}
+
 /// Checks **regularity** for a single-writer history: every read returns
 /// either the value of the last write that precedes it or the value of a
 /// write concurrent with it (the initial value `None` counts as "last
@@ -404,6 +581,166 @@ mod tests {
             }
             other => panic!("expected linearizable, got {other}"),
         }
+    }
+
+    #[test]
+    fn sequential_history_is_sequentially_consistent() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(read(1, Some(1), 2, 3));
+        h.push(write(0, 2, 4, 5));
+        h.push(read(1, Some(2), 6, 7));
+        match check_sequentially_consistent(&h).unwrap() {
+            SeqConsistency::SequentiallyConsistent { witness } => {
+                let mut sorted = witness.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1, 2, 3]);
+            }
+            other => panic!("expected SC, got {other}"),
+        }
+    }
+
+    #[test]
+    fn real_time_stale_read_is_sc_but_not_atomic() {
+        // The write completed strictly before the read was invoked, yet
+        // the read returns the initial value: a real-time violation that
+        // atomicity rejects — but SC ignores real time across processes
+        // and legally orders the read before the write.
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(read(1, None, 2, 3));
+        assert_eq!(check_atomic(&h).unwrap(), Linearizability::NotLinearizable);
+        assert!(check_sequentially_consistent(&h)
+            .unwrap()
+            .is_sequentially_consistent());
+    }
+
+    #[test]
+    fn cross_writer_stale_read_is_sc_but_not_atomic() {
+        // Writes by *different* processes completed in sequence; a reader
+        // then sees the first one. Atomicity forbids it (the second write
+        // already finished); SC reorders the independent writers.
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(1, 2, 2, 3));
+        h.push(read(2, Some(1), 4, 5));
+        assert_eq!(check_atomic(&h).unwrap(), Linearizability::NotLinearizable);
+        assert!(check_sequentially_consistent(&h)
+            .unwrap()
+            .is_sequentially_consistent());
+    }
+
+    #[test]
+    fn same_process_new_old_inversion_is_not_sc() {
+        // One reader observes the new value then the old one: program
+        // order pins the reads AND the single writer's writes, so no total
+        // order explains it — SC rejects, exactly like atomicity.
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(0, 2, 2, 20));
+        h.push(read(1, Some(2), 3, 5));
+        h.push(read(1, Some(1), 6, 8));
+        assert_eq!(check_atomic(&h).unwrap(), Linearizability::NotLinearizable);
+        assert_eq!(
+            check_sequentially_consistent(&h).unwrap(),
+            SeqConsistency::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn cross_reader_inversions_are_sc() {
+        // Two *different* readers disagree on the order of two writes:
+        // forbidden by atomicity, allowed by SC only when each reader's
+        // own sequence is explainable. Here reader 1 sees (2) and reader
+        // 2 sees (1) — order w1, r2, w2, r1.
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(0, 2, 2, 3));
+        h.push(read(1, Some(2), 4, 5));
+        h.push(read(2, Some(1), 6, 7));
+        assert_eq!(check_atomic(&h).unwrap(), Linearizability::NotLinearizable);
+        assert!(check_sequentially_consistent(&h)
+            .unwrap()
+            .is_sequentially_consistent());
+    }
+
+    #[test]
+    fn phantom_value_is_not_sc() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(read(1, Some(9), 2, 3));
+        assert_eq!(
+            check_sequentially_consistent(&h).unwrap(),
+            SeqConsistency::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn program_order_of_writes_is_respected_by_sc() {
+        // p0 writes 1 then 2 sequentially. A reader that observes 2 and
+        // then 1 cannot be explained without reordering p0's own writes.
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(0, 2, 2, 3));
+        h.push(read(1, Some(2), 4, 5));
+        h.push(read(1, Some(1), 6, 7));
+        assert_eq!(
+            check_sequentially_consistent(&h).unwrap(),
+            SeqConsistency::NotSequentiallyConsistent
+        );
+    }
+
+    #[test]
+    fn pending_write_may_or_may_not_take_effect_under_sc() {
+        let mut pending = RegisterHistory::new();
+        pending.push(OpRecord {
+            process: ProcessId::from_raw(0),
+            op: RegOp::Write(5),
+            invoked: Time::from_ticks(0),
+            responded: None,
+            response: None,
+        });
+        pending.push(read(1, Some(5), 1, 2));
+        assert!(check_sequentially_consistent(&pending)
+            .unwrap()
+            .is_sequentially_consistent());
+        let mut skipped = RegisterHistory::new();
+        skipped.push(OpRecord {
+            process: ProcessId::from_raw(0),
+            op: RegOp::Write(5),
+            invoked: Time::from_ticks(0),
+            responded: None,
+            response: None,
+        });
+        skipped.push(read(1, None, 1, 2));
+        assert!(check_sequentially_consistent(&skipped)
+            .unwrap()
+            .is_sequentially_consistent());
+    }
+
+    #[test]
+    fn linearizable_histories_are_sequentially_consistent() {
+        // SC is strictly weaker than atomicity: spot-check the atomic
+        // fixtures above through the SC checker.
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 1));
+        h.push(write(0, 2, 2, 6));
+        h.push(read(1, Some(2), 3, 5));
+        assert!(check_atomic(&h).unwrap().is_linearizable());
+        assert!(check_sequentially_consistent(&h)
+            .unwrap()
+            .is_sequentially_consistent());
+    }
+
+    #[test]
+    fn sc_checker_rejects_malformed_histories() {
+        let mut h = RegisterHistory::new();
+        h.push(write(0, 1, 0, 10));
+        h.push(write(0, 2, 5, 15)); // same process, overlapping
+        assert_eq!(
+            check_sequentially_consistent(&h),
+            Err(CheckError::MalformedHistory)
+        );
     }
 
     #[test]

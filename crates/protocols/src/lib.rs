@@ -19,6 +19,9 @@
 //! - [`register`] — the paper's closing question made executable: a
 //!   single-writer register maintained under churn by state transfer and
 //!   flooded reads/writes, judged by the regularity checker;
+//! - [`scd`] — SCD-broadcast (set-constrained delivery) with its derived
+//!   objects: atomic snapshot, counter, and a sequentially consistent
+//!   register, judged by the set-order oracle and the SC checker;
 //! - [`harness`] — the scenario runner that builds a world, runs one query
 //!   and judges it against the interval-validity specification.
 //!
@@ -45,6 +48,7 @@ pub mod harness;
 pub mod membership;
 pub mod obs;
 pub mod register;
+pub mod scd;
 pub mod wave;
 
 pub use harness::{DriverSpec, ProtocolKind, QueryRun, QueryScenario};
