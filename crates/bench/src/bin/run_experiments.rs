@@ -9,7 +9,9 @@
 //! counters, the pooled p50/p99 delivery-latency and event-queue-depth
 //! percentiles, and the critical-path decomposition (pooled p50/p99 total
 //! plus summed transit/queueing/processing ticks from the kernel's
-//! happened-before annotations), plus the thread count the sweep pool used
+//! happened-before annotations), the pooled stabilization-time
+//! percentiles (`p50_stabilization`/`p99_stabilization`, nonzero only for
+//! the `stab1` record), plus the thread count the sweep pool used
 //! (`DDS_THREADS`) and the event-queue implementation (`DDS_QUEUE`).
 //! Everything except the wall-clock fields is byte-identical across
 //! thread counts and queue implementations.
@@ -60,6 +62,8 @@ struct Record {
     crit_transit: u64,
     crit_queueing: u64,
     crit_processing: u64,
+    p50_stabilization: u64,
+    p99_stabilization: u64,
 }
 
 impl Record {
@@ -143,6 +147,8 @@ fn main() {
             crit_transit: e.crit_transit,
             crit_queueing: e.crit_queueing,
             crit_processing: e.crit_processing,
+            p50_stabilization: e.stabilization.percentile(50.0),
+            p99_stabilization: e.stabilization.percentile(99.0),
         });
     }
     if records.is_empty() {
@@ -295,7 +301,8 @@ fn render_record(r: &Record) -> String {
 \"p50_delivery_latency\": {}, \"p99_delivery_latency\": {}, \
 \"p50_queue_depth\": {}, \"p99_queue_depth\": {}, \
 \"p50_critical_path\": {}, \"p99_critical_path\": {}, \
-\"crit_transit\": {}, \"crit_queueing\": {}, \"crit_processing\": {}, \"metrics\": {}}}",
+\"crit_transit\": {}, \"crit_queueing\": {}, \"crit_processing\": {}, \
+\"p50_stabilization\": {}, \"p99_stabilization\": {}, \"metrics\": {}}}",
         r.id,
         r.wall_ms,
         r.runs,
@@ -309,6 +316,8 @@ fn render_record(r: &Record) -> String {
         r.crit_transit,
         r.crit_queueing,
         r.crit_processing,
+        r.p50_stabilization,
+        r.p99_stabilization,
         r.metrics.to_json(),
     )
 }

@@ -60,6 +60,9 @@ pub struct Experiment {
     /// Critical-path total latency pooled over every sweep run (from the
     /// kernel's happened-before annotations; see `dds_obs::causal`).
     pub critical: Histogram,
+    /// Ticks-to-legal after a corruption burst, pooled over every
+    /// stabilization run (the `stab1` experiment; empty elsewhere).
+    pub stabilization: Histogram,
     /// Summed critical-path ticks spent in message flight.
     pub crit_transit: u64,
     /// Summed critical-path ticks spent waiting on timers.
@@ -80,6 +83,7 @@ impl Experiment {
             latency: Histogram::new(),
             queue_depth: Histogram::new(),
             critical: Histogram::new(),
+            stabilization: Histogram::new(),
             crit_transit: 0,
             crit_queueing: 0,
             crit_processing: 0,
@@ -1240,6 +1244,118 @@ pub fn scd_landscape_probe(name: &str) -> Option<dds_protocols::scd::ScdScenario
     )
 }
 
+/// STAB1 — self-stabilization: ticks back to a closed legal configuration
+/// after a transient corruption burst, for the Dijkstra K-state token
+/// ring (burst size, queue scrambling, edge cuts) and the purge-based
+/// membership view (burst size × balanced churn), with the non-stabilizing
+/// mutant twins as controls.
+///
+/// Each cell folds into a [`SweepRow`] whose `p50_stabilization` /
+/// `p99_stabilization` columns carry the recovery-time percentiles; the
+/// pooled histogram feeds the same columns of the experiment's
+/// `BENCH_sweeps.json` record. "stab." is the fraction of seeds that
+/// reached a legal suffix holding through the horizon — the closure half
+/// of self-stabilization, not just a transient visit to legality.
+pub fn stab1_selfstab() -> Experiment {
+    use dds_protocols::stab::{StabProtocol, StabScenario};
+    use dds_sim::corrupt::Burst;
+
+    let mut e = Experiment::new(
+        "STAB1",
+        "self-stabilization: ticks-to-legal after transient corruption",
+    );
+    let _ = writeln!(
+        e.table,
+        "{:<26} {:>7} {:>7} {:>8} {:>8} {:>12}",
+        "protocol / burst", "churn", "stab.", "p50(t)", "p99(t)", "corruptions"
+    );
+
+    // One table line: `SEEDS` runs of `scenario`, folded into a SweepRow
+    // (stabilized runs count as valid *and* terminated) and pooled into
+    // the experiment histogram.
+    let cell = |e: &mut Experiment, name: &str, scenario: StabScenario| {
+        let mut hist = Histogram::new();
+        let mut stabilized = 0u32;
+        let mut corruptions = 0u64;
+        let mut metrics = Metrics::default();
+        for seed in 0..SEEDS {
+            let mut s = scenario;
+            s.seed = seed;
+            let out = s.run();
+            if let Some(t) = out.ticks_to_legal {
+                stabilized += 1;
+                hist.record(t);
+            }
+            corruptions += out.corruptions;
+            metrics.merge(&out.metrics);
+        }
+        e.stabilization.merge(&hist);
+        let row = SweepRow {
+            runs: SEEDS as u32,
+            interval_valid: stabilized,
+            terminated: stabilized,
+            p50_stabilization: hist.percentile(50.0),
+            p99_stabilization: hist.percentile(99.0),
+            metrics,
+            ..SweepRow::default()
+        };
+        e.rows.insert(name.to_string(), row);
+        let churn = if scenario.churn_rate > 0.0 {
+            format!("{:.0}%", scenario.churn_rate * 100.0)
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            e.table,
+            "{:<26} {:>7} {:>6.0}% {:>8} {:>8} {:>12}",
+            name,
+            churn,
+            row.validity_rate() * 100.0,
+            row.p50_stabilization,
+            row.p99_stabilization,
+            corruptions
+        );
+    };
+
+    // Token ring: recovery time vs damage. K = n + 1 ≥ n, so every burst
+    // is survivable; scrambled payloads clamp back into 0..K at receipt
+    // and cut ring edges heal one tick later.
+    for b in [1usize, 2, 3] {
+        let mut s = StabScenario::new(StabProtocol::TokenRing, 6, 0);
+        s.burst = Burst::actors(b);
+        cell(&mut e, &format!("token b={b}"), s);
+    }
+    let mut s = StabScenario::new(StabProtocol::TokenRing, 6, 0);
+    s.burst = Burst::actors(2).with_scramble().with_edge_cuts(1);
+    cell(&mut e, "token b=2+scramble+cut", s);
+    let mut s = StabScenario::new(StabProtocol::TokenRing, 6, 0);
+    s.burst = Burst::actors(2);
+    s.mutant = true;
+    cell(&mut e, "token MUTANT (skew)", s);
+
+    // Membership views: phantom injection under growing churn. The kernel
+    // keeps views synced through joins and leaves, so churn stresses but
+    // never breaks legality — only the corruption does.
+    for rate in [0.0, 0.05, 0.15] {
+        let mut s = StabScenario::new(StabProtocol::View, 6, 0);
+        s.burst = Burst::actors(2);
+        s.churn_rate = rate;
+        cell(&mut e, &format!("view b=2 churn={:.0}%", rate * 100.0), s);
+    }
+    let mut s = StabScenario::new(StabProtocol::View, 6, 0);
+    s.burst = Burst::actors(2);
+    s.mutant = true;
+    cell(&mut e, "view MUTANT (no purge)", s);
+
+    let _ = writeln!(
+        e.table,
+        "(ticks from the burst to the start of the legal suffix that holds through \
+the horizon; the mutants never stabilize — 0% — which is exactly what the \
+`run_check` convergence targets assert schedule-exhaustively)"
+    );
+    e
+}
+
 /// A lazy experiment constructor.
 pub type ExperimentFn = fn() -> Experiment;
 
@@ -1264,6 +1380,7 @@ pub fn registry() -> Vec<(&'static str, ExperimentFn)> {
         ("scd1", scd1_broadcast),
         ("check1", check1_explore),
         ("obs1", obs1_overhead),
+        ("stab1", stab1_selfstab),
     ]
 }
 

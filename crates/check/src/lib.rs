@@ -51,6 +51,6 @@ pub use explore::{
 pub use fuzz::{fuzz, shrink, FuzzOutcome};
 pub use schedule::{ChoicePoint, ReadyEvent, ScriptPolicy};
 pub use target::{
-    Counterexample, ExploreSession, RegisterTarget, RunReport, SessionState, Target, Violation,
-    WorldTarget,
+    Counterexample, ExploreSession, RegisterTarget, RunReport, SessionState, StabTarget, Target,
+    Violation, WorldTarget,
 };

@@ -47,6 +47,20 @@
 //! - **scd-self** — own broadcasts are marked seen without being
 //!   buffered; the origin never delivers its own message (self-delivery
 //!   violated).
+//!
+//! Stabilization mutants (`dds-protocols::stab`, judged by the trajectory
+//! target [`StabTarget`] — legal by `converge_by`, *still* legal at every
+//! tick through `hold_until`):
+//!
+//! - **stab-token** — Dijkstra's K-state ring started in a corrupted
+//!   two-privilege configuration. The correct protocol converges to one
+//!   circulating privilege under every schedule; the mutant skews the
+//!   non-bottom move (`value = pred + 1` instead of `value = pred`), so
+//!   every mover re-arms its own privilege and the ring never stabilizes.
+//! - **stab-view** — the purge-based membership view seeded with a
+//!   phantom neighbor. The correct actor evicts it once it has been
+//!   silent past `purge_after`; the mutant never evicts, so the phantom
+//!   outlives every convergence bound.
 
 use dds_core::process::ProcessId;
 use dds_core::spec::register::{check_atomic, RegOp};
@@ -55,6 +69,7 @@ use dds_net::graph::Graph;
 use dds_protocols::scd::{
     check_world as check_scd_world, ScdActor, ScdCall, ScdConfig, ScdFault, ScdMsg,
 };
+use dds_protocols::stab::{token_privileges, DijkstraRing, ProbeMsg, TokenMsg, ViewActor};
 use dds_registers::base::ObjectState;
 use dds_registers::construction::Construction;
 use dds_registers::harness::CrashEvent;
@@ -64,7 +79,7 @@ use dds_sim::snapshot::{FingerprintMsg, StableHasher};
 use dds_sim::world::{World, WorldBuilder};
 use dds_store::{history_from_store, StoreActor, StoreMsg, StoreParams};
 
-use crate::target::{RegisterTarget, Target, Violation, WorldTarget};
+use crate::target::{RegisterTarget, StabTarget, Target, Violation, WorldTarget};
 
 /// World seed of the write-back mutant scenario, chosen (by scanning
 /// seeds) so the delay draws of the *default* schedule already interleave
@@ -119,6 +134,10 @@ pub fn suite() -> Vec<Subject> {
         (scd_cutoff_target, false, true),
         (scd_self_target, true, false),
         (scd_self_target, false, true),
+        (token_stab_target, true, false),
+        (token_stab_target, false, true),
+        (view_stab_target, true, false),
+        (view_stab_target, false, true),
     ];
     subjects.push(Subject {
         build: || Box::new(store_reconfig_target()),
@@ -698,6 +717,113 @@ fn scd_self_target(correct: bool) -> WorldTarget<ScdMsg> {
     )
 }
 
+// ---------------------------------------------------------------------------
+// stabilization mutants: trajectory properties under corrupted starts.
+// ---------------------------------------------------------------------------
+
+/// Dijkstra's K-state ring (n = 3, K = 4) started in the corrupted
+/// two-privilege configuration (0, 2, 1) — judged by [`StabTarget`]:
+/// exactly one privilege at every tick in (36, 44]. K ≥ n guarantees the
+/// correct protocol converges under every schedule (exploration only
+/// permutes same-instant ties, which select valid asynchronous
+/// executions). The skew mutant instead freezes in the illegal
+/// configuration (0, 1, 2): both non-bottom movers rewrite their values
+/// in place (`pred + 1` equals what they already hold), two privileges
+/// persist forever, and the witness shrinks to the empty plan. The start
+/// state matters — the skew dynamics also have *legal* sinks of the form
+/// (a, a, a+1), which this start provably avoids.
+fn token_stab_target(correct: bool) -> StabTarget<TokenMsg> {
+    let name = if correct {
+        "stab-token/correct"
+    } else {
+        "stab-token/mutant"
+    };
+    StabTarget::new(
+        name,
+        Time::from_ticks(36),
+        Time::from_ticks(44),
+        move || {
+            WorldBuilder::new(13)
+                .initial_graph(dds_net::generate::ring(3))
+                .delay(DelayModel::Fixed(TimeDelta::TICK))
+                .spawn(move |pid| {
+                    let raw = pid.as_raw();
+                    let succ = ProcessId::from_raw((raw + 1) % 3);
+                    let ring = DijkstraRing::new(4, raw == 0, succ, TimeDelta::ticks(2))
+                        .with_state([0, 2, 1][raw as usize], Some([1, 0, 2][raw as usize]));
+                    if correct {
+                        Box::new(ring)
+                    } else {
+                        Box::new(ring.with_skew_mutation())
+                    }
+                })
+                .build()
+        },
+        |world: &World<TokenMsg>| {
+            let ring: Vec<ProcessId> = (0..3).map(ProcessId::from_raw).collect();
+            match token_privileges(world, &ring) {
+                1 => Ok(()),
+                n => Err(format!("{n} privileges in the ring")),
+            }
+        },
+    )
+    .with_reduction()
+    .with_fork()
+}
+
+/// The membership view on a 3-ring, one process seeded with a phantom
+/// neighbor (identity 99, never spawned). The correct actor hears nothing
+/// from it and purges it after 6 silent ticks — views match the kernel
+/// neighborhoods at every tick in (16, 26] regardless of probe delivery
+/// order (real neighbors probe every 2 ticks against a 6-tick purge
+/// threshold, so they are never evicted). The no-eviction mutant keeps
+/// the phantom forever.
+fn view_stab_target(correct: bool) -> StabTarget<ProbeMsg> {
+    let name = if correct {
+        "stab-view/correct"
+    } else {
+        "stab-view/mutant"
+    };
+    StabTarget::new(
+        name,
+        Time::from_ticks(16),
+        Time::from_ticks(26),
+        move || {
+            WorldBuilder::new(29)
+                .initial_graph(dds_net::generate::ring(3))
+                .delay(DelayModel::Fixed(TimeDelta::TICK))
+                .spawn(move |pid| {
+                    let mut actor = ViewActor::new(TimeDelta::ticks(2), TimeDelta::ticks(6));
+                    if !correct {
+                        actor = actor.without_eviction();
+                    }
+                    if pid.as_raw() == 1 {
+                        actor = actor.with_phantom(ProcessId::from_raw(99));
+                    }
+                    Box::new(actor)
+                })
+                .build()
+        },
+        |world: &World<ProbeMsg>| {
+            for &p in world.members() {
+                let Some(actor) = world.actor::<ViewActor>(p) else {
+                    return Err(format!("process {p} has no view actor"));
+                };
+                let kernel = world.graph().neighbors(p).unwrap_or(&[]);
+                let view = actor.view();
+                if view != kernel {
+                    return Err(format!(
+                        "process {p}: view {view:?} != neighborhood {kernel:?}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    )
+    .with_reduction()
+    .with_fork()
+}
+
 const RECONFIG_WRITER: u64 = 4;
 const RECONFIG_READER: u64 = 5;
 
@@ -979,6 +1105,105 @@ mod tests {
         }
     }
 
+    /// Builders of the stabilization pairs, erased to `Box<dyn Target>`
+    /// so one battery covers both message types.
+    type StabBuild = fn(bool) -> Box<dyn Target>;
+    fn stab_builds() -> [(&'static str, StabBuild); 2] {
+        [
+            ("stab-token", |c| Box::new(token_stab_target(c))),
+            ("stab-view", |c| Box::new(view_stab_target(c))),
+        ]
+    }
+
+    /// Both stabilization mutants are illegal at every sample, so the
+    /// very first run — the default schedule, the empty plan — must
+    /// already convict them, while the correct twins converge on it.
+    #[test]
+    fn stab_mutants_violate_on_the_default_schedule() {
+        for (label, mk) in stab_builds() {
+            let report = mk(true).run(&[]);
+            assert!(
+                report.violation.is_none(),
+                "{label}: correct protocol must converge on the default schedule: {:?}",
+                report.violation
+            );
+            let report = mk(false).run(&[]);
+            let v = report
+                .violation
+                .unwrap_or_else(|| panic!("{label}: mutant must fail the default schedule"));
+            assert!(
+                v.reason.contains("illegal configuration at tick"),
+                "{label}: {v:?}"
+            );
+        }
+    }
+
+    /// Self-stabilization is schedule-independent with the chosen margins:
+    /// the correct protocols must survive every explored interleaving,
+    /// the mutants must be caught with a short witness.
+    #[test]
+    fn stab_mutants_are_caught_and_correct_ones_survive() {
+        for (label, mk) in stab_builds() {
+            let out = explore(mk(true).as_mut(), budget());
+            assert!(
+                out.counterexample.is_none(),
+                "{label}: correct protocol flagged: {:?}",
+                out.counterexample
+            );
+            let mut mutant = mk(false);
+            let mut ce = explore(mutant.as_mut(), budget()).counterexample;
+            if ce.is_none() {
+                ce = fuzz(mutant.as_mut(), 1, 300, 64).counterexample;
+            }
+            let ce = ce.unwrap_or_else(|| panic!("{label}: mutant must be caught"));
+            assert!(
+                ce.plan.len() <= 20,
+                "{label}: witness must shrink to <= 20 decisions, got {}",
+                ce.plan.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stab_witnesses_are_byte_reproducible_on_the_fork_engine() {
+        for (label, mk) in stab_builds() {
+            let a = explore_fork(mk(false).as_mut(), budget()).expect("stab targets fork");
+            let b = explore_fork(mk(false).as_mut(), budget()).expect("stab targets fork");
+            let pa = a.counterexample.expect("fork engine catches the mutant");
+            let pb = b.counterexample.expect("fork engine catches the mutant");
+            assert_eq!(pa.plan, pb.plan, "{label}: witness plans must be byte-identical");
+            assert!(pa.plan.len() <= 20, "{label}");
+        }
+    }
+
+    /// The trajectory property is sampled identically on both execution
+    /// paths: the fork session evaluates legality once per event-free
+    /// span, the replay path once per tick — same verdict, same first
+    /// illegal tick, same witness plan.
+    #[test]
+    fn fork_and_replay_agree_on_stab_targets() {
+        for (label, mk) in stab_builds() {
+            for flag in [true, false] {
+                let forked =
+                    explore_fork(mk(flag).as_mut(), budget()).expect("stab targets fork");
+                let replayed = explore_replay(mk(flag).as_mut(), budget());
+                match (&replayed.counterexample, &forked.counterexample) {
+                    (Some(r), Some(f)) => {
+                        assert_eq!(r.plan, f.plan, "{label}({flag}): witness plans");
+                        assert_eq!(
+                            r.violation.reason, f.violation.reason,
+                            "{label}({flag}): first illegal tick must match"
+                        );
+                    }
+                    (None, None) => {}
+                    (r, f) => panic!(
+                        "{label}({flag}): engines disagree: replay {r:?} vs fork {f:?}"
+                    ),
+                }
+            }
+        }
+    }
+
     #[test]
     fn store_reconfig_sweep_is_clean() {
         let out = explore(&mut store_reconfig_target(), budget());
@@ -1084,6 +1309,8 @@ mod tests {
             ("scd-split/mutant", || Box::new(scd_split_target(false)) as Box<dyn Target>),
             ("scd-cutoff/mutant", || Box::new(scd_cutoff_target(false)) as Box<dyn Target>),
             ("scd-self/mutant", || Box::new(scd_self_target(false)) as Box<dyn Target>),
+            ("stab-token/mutant", || Box::new(token_stab_target(false)) as Box<dyn Target>),
+            ("stab-view/mutant", || Box::new(view_stab_target(false)) as Box<dyn Target>),
         ] {
             let t1 = explore_parallel_with(1, build, budget());
             let t8 = explore_parallel_with(8, build, budget());

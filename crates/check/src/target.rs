@@ -417,6 +417,333 @@ impl<M: Clone + 'static> ExploreSession for WorldSession<M> {
     }
 }
 
+/// Legality predicate of a [`StabTarget`]: `Ok` when the configuration is
+/// legal, `Err(details)` describing the illegality otherwise.
+type StabCheck<M> = Rc<dyn Fn(&World<M>) -> Result<(), String>>;
+
+/// A [`Target`] for self-stabilization properties: "eventually legal and
+/// stays legal", with an explicit convergence bound.
+///
+/// Where [`WorldTarget`] judges only the final state, this target judges
+/// the *trajectory*: the world must satisfy `legal` at every tick in
+/// `(converge_by, hold_until]` — sampled after all events of that tick
+/// have dispatched. A run that is illegal at any sample is violated
+/// (closure: once legal, the system must not leave the legal set again
+/// within the horizon; convergence: it must have entered it by
+/// `converge_by`).
+///
+/// Both execution paths sample identically. The replay path runs the
+/// scripted schedule tick by tick; the exploration session evaluates the
+/// predicate whenever virtual time is about to move past unfinalized
+/// sample instants (the state at those instants is exactly the current
+/// state, since no events lie between). The latched verdict — including
+/// which tick first went illegal — is folded into the session fingerprint,
+/// so deduplication can never identify a violated trajectory with a clean
+/// one that happens to share a world state.
+pub struct StabTarget<M> {
+    name: String,
+    build: Box<dyn FnMut() -> World<M>>,
+    legal: StabCheck<M>,
+    converge_by: Time,
+    hold_until: Time,
+    reduction_safe: bool,
+    forkable: Option<fn(&M, &mut StableHasher)>,
+}
+
+impl<M: Clone + 'static> StabTarget<M> {
+    /// Creates a stabilization target: the world must be legal at every
+    /// tick after `converge_by` through `hold_until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hold_until > converge_by` (an empty sample window
+    /// would make every system vacuously stabilizing).
+    pub fn new(
+        name: impl Into<String>,
+        converge_by: Time,
+        hold_until: Time,
+        build: impl FnMut() -> World<M> + 'static,
+        legal: impl Fn(&World<M>) -> Result<(), String> + 'static,
+    ) -> Self {
+        assert!(
+            hold_until > converge_by,
+            "the hold window must extend past the convergence bound"
+        );
+        StabTarget {
+            name: name.into(),
+            build: Box::new(build),
+            legal: Rc::new(legal),
+            converge_by,
+            hold_until,
+            reduction_safe: false,
+            forkable: None,
+        }
+    }
+
+    /// Declares the target's callbacks rng-free, enabling the sleep-set
+    /// reduction.
+    pub fn with_reduction(mut self) -> Self {
+        self.reduction_safe = true;
+        self
+    }
+
+    /// Opts the target into snapshot-forking exploration (see
+    /// [`WorldTarget::with_fork`]).
+    pub fn with_fork(mut self) -> Self
+    where
+        M: FingerprintMsg,
+    {
+        self.forkable = Some(fingerprint_msg::<M>);
+        self
+    }
+
+    /// Turns the reduction back off.
+    pub fn disable_reduction(&mut self) {
+        self.reduction_safe = false;
+    }
+
+    fn scripted_world(&mut self, plan: &[usize]) -> (World<M>, ChoiceLog) {
+        let mut world = (self.build)();
+        let log: ChoiceLog = Rc::new(RefCell::new(Vec::new()));
+        world.set_schedule_policy(ScriptPolicy::new(plan.to_vec(), Rc::clone(&log)));
+        (world, log)
+    }
+}
+
+impl<M: Clone + 'static> Target for StabTarget<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, plan: &[usize]) -> RunReport {
+        let (mut world, log) = self.scripted_world(plan);
+        world.run_until(self.converge_by);
+        let mut violation = None;
+        for tick in self.converge_by.as_ticks() + 1..=self.hold_until.as_ticks() {
+            world.run_until(Time::from_ticks(tick));
+            if violation.is_none() {
+                if let Err(details) = (self.legal)(&world) {
+                    violation = Some(Violation {
+                        reason: format!("illegal configuration at tick {tick}"),
+                        details,
+                    });
+                }
+            }
+        }
+        let choices = log.borrow().clone();
+        RunReport { choices, violation }
+    }
+
+    fn reduction_safe(&self) -> bool {
+        self.reduction_safe
+    }
+
+    fn session(&mut self) -> Option<Box<dyn ExploreSession>> {
+        let msg_fp = self.forkable?;
+        let world = (self.build)();
+        world.try_fork()?;
+        let next_sample = self.converge_by.as_ticks() + 1;
+        Some(Box::new(StabSession {
+            world,
+            legal: Rc::clone(&self.legal),
+            hold_until: self.hold_until,
+            msg_fp,
+            at: Time::ZERO,
+            ready: Vec::new(),
+            done: false,
+            next_sample,
+            violation: None,
+        }))
+    }
+
+    fn dump_counterexample(&mut self, plan: &[usize], path: &Path, reason: &str) {
+        let (mut world, _log) = self.scripted_world(plan);
+        world.set_sink(FlightRecorder::new(4096).with_dump_path(path));
+        world.run_until(self.hold_until);
+        let at = world.now();
+        if let Some(sink) = world.take_sink() {
+            if let Ok(mut recorder) = sink.into_any().downcast::<FlightRecorder>() {
+                recorder.fail(reason, at);
+            }
+        }
+    }
+
+    fn dump_causal_chain(&mut self, plan: &[usize], path: &Path, reason: &str) {
+        let (mut world, _log) = self.scripted_world(plan);
+        world.set_sink(CausalLog::default());
+        world.run_until(self.hold_until);
+        let Some(sink) = world.take_sink() else {
+            return;
+        };
+        let Ok(causal) = sink.into_any().downcast::<CausalLog>() else {
+            return;
+        };
+        let dag = causal.dag();
+        let chain = dag
+            .critical_end()
+            .map(|id| dag.chain_of(id))
+            .unwrap_or_default();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"t\":\"causal-chain\",\"reason\":\"{}\",\"plan\":{:?},\"events\":{}}}\n",
+            reason,
+            plan,
+            chain.len()
+        ));
+        for (depth, node) in chain.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"t\":\"node\",\"depth\":{},\"id\":{},\"cause\":{},\"at\":{},\"pid\":{},\"segment\":\"{}\"}}\n",
+                depth,
+                node.id,
+                node.cause,
+                node.at.as_ticks(),
+                node.pid.as_raw(),
+                node.segment.label()
+            ));
+        }
+        let _ = std::fs::write(path, out);
+    }
+}
+
+/// The live-session twin of [`StabTarget`]: a [`WorldSession`]-style
+/// stepper that additionally finalizes legality samples as virtual time
+/// moves past them, latching the first illegal tick.
+struct StabSession<M> {
+    world: World<M>,
+    legal: StabCheck<M>,
+    hold_until: Time,
+    msg_fp: fn(&M, &mut StableHasher),
+    at: Time,
+    ready: Vec<ReadyEvent>,
+    done: bool,
+    /// First sample tick whose state is not yet finalized. Samples are
+    /// `converge_by + 1 ..= hold_until`; a sample is finalized once no
+    /// event at or before it remains undispatched.
+    next_sample: u64,
+    violation: Option<Violation>,
+}
+
+impl<M: Clone + 'static> StabSession<M> {
+    /// Evaluates legality for the current state, attributing a failure to
+    /// `next_sample` — the first sample instant the current state covers.
+    fn check_now(&mut self) {
+        if self.violation.is_some() {
+            return;
+        }
+        if let Err(details) = (self.legal)(&self.world) {
+            self.violation = Some(Violation {
+                reason: format!("illegal configuration at tick {}", self.next_sample),
+                details,
+            });
+        }
+    }
+
+    /// Finalizes every sample instant strictly before `at`: no
+    /// undispatched event can change their state, which is exactly the
+    /// current state (legality is constant over the span, so one
+    /// evaluation covers it).
+    fn finalize_samples_before(&mut self, at: Time) {
+        let limit = at.as_ticks().min(self.hold_until.as_ticks() + 1);
+        if self.next_sample < limit {
+            self.check_now();
+            self.next_sample = limit;
+        }
+    }
+
+    /// Finalizes the remaining samples at run end (final state).
+    fn finalize_remaining(&mut self) {
+        if self.next_sample <= self.hold_until.as_ticks() {
+            self.check_now();
+            self.next_sample = self.hold_until.as_ticks() + 1;
+        }
+    }
+}
+
+impl<M: Clone + 'static> ExploreSession for StabSession<M> {
+    fn advance(&mut self) -> (SessionState, Vec<ReadyEvent>) {
+        let mut forced = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            match self.world.ready_set(&mut buf) {
+                Some(at) if at <= self.hold_until => {
+                    self.finalize_samples_before(at);
+                    let ready = summarize(&buf);
+                    if ready.len() > 1 {
+                        self.at = at;
+                        self.ready = ready;
+                        return (SessionState::Choice, forced);
+                    }
+                    forced.push(ready[0]);
+                    self.world.step_nth(0);
+                }
+                _ => {
+                    self.world.idle_until(self.hold_until);
+                    self.finalize_remaining();
+                    self.done = true;
+                    self.ready.clear();
+                    return (SessionState::Done, forced);
+                }
+            }
+        }
+    }
+
+    fn choice(&self) -> Option<ChoicePoint> {
+        if self.done || self.ready.len() < 2 {
+            return None;
+        }
+        Some(ChoicePoint {
+            at: self.at,
+            epoch: self.world.epoch(),
+            width: self.ready.len(),
+            chosen: 0,
+            ready: self.ready.clone(),
+        })
+    }
+
+    fn choose(&mut self, idx: usize) {
+        debug_assert!(self.ready.len() > 1, "choose outside a choice point");
+        let idx = idx.min(self.ready.len().saturating_sub(1));
+        self.world.step_nth(idx);
+        self.ready.clear();
+    }
+
+    fn fork(&self) -> Option<Box<dyn ExploreSession>> {
+        let world = self.world.try_fork()?;
+        Some(Box::new(StabSession {
+            world,
+            legal: Rc::clone(&self.legal),
+            hold_until: self.hold_until,
+            msg_fp: self.msg_fp,
+            at: self.at,
+            ready: self.ready.clone(),
+            done: self.done,
+            next_sample: self.next_sample,
+            violation: self.violation.clone(),
+        }))
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        let world = self.world.fingerprint(self.msg_fp)?;
+        // Fold in the trajectory verdict: a violated run must never dedup
+        // against a clean run passing through the same world state.
+        let mut h = StableHasher::new();
+        h.write_u64(world);
+        h.write_u64(self.next_sample);
+        match &self.violation {
+            None => h.write_bool(false),
+            Some(v) => {
+                h.write_bool(true);
+                h.write_str(&v.reason);
+            }
+        }
+        Some(h.finish())
+    }
+
+    fn violation(&self) -> Option<Violation> {
+        self.violation.clone()
+    }
+}
+
 /// A [`Target`] wrapping the register interleaving harness: one
 /// construction, fixed client scripts and crash events, the schedule
 /// chosen by the plan, the history judged for atomicity.

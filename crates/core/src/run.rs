@@ -72,6 +72,15 @@ pub enum TraceEvent {
         /// Drop instant.
         at: Time,
     },
+    /// A process's local state was transiently corrupted in place (the
+    /// self-stabilization fault model: the process keeps running from an
+    /// arbitrary state, unlike a crash).
+    Corrupt {
+        /// The corrupted entity.
+        pid: ProcessId,
+        /// Corruption instant.
+        at: Time,
+    },
 }
 
 impl TraceEvent {
@@ -83,7 +92,8 @@ impl TraceEvent {
             | TraceEvent::Crash { at, .. }
             | TraceEvent::Send { at, .. }
             | TraceEvent::Deliver { at, .. }
-            | TraceEvent::Drop { at, .. } => *at,
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Corrupt { at, .. } => *at,
         }
     }
 }

@@ -62,6 +62,7 @@ const fn node_pid(ev: &ObsEvent) -> ProcessId {
         ObsEvent::Join { pid, .. }
         | ObsEvent::Leave { pid, .. }
         | ObsEvent::Crash { pid, .. }
+        | ObsEvent::Corrupt { pid, .. }
         | ObsEvent::TimerFire { pid, .. }
         | ObsEvent::SpanStart { pid, .. }
         | ObsEvent::SpanEnd { pid, .. } => *pid,

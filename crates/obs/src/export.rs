@@ -55,6 +55,12 @@ pub fn trace_event_line(ev: &TraceEvent, causal: Causality, out: &mut String) {
             to.as_raw(),
             at.as_ticks()
         ),
+        TraceEvent::Corrupt { pid, at } => write!(
+            out,
+            "{{\"t\":\"corrupt\",\"pid\":{},\"at\":{}",
+            pid.as_raw(),
+            at.as_ticks()
+        ),
     };
     causal_suffix(causal, out);
 }
@@ -125,6 +131,12 @@ pub fn obs_event_line(ev: &ObsEvent, causal: Causality, out: &mut String) {
             "{{\"t\":\"drop\",\"from\":{},\"to\":{},\"at\":{}",
             from.as_raw(),
             to.as_raw(),
+            at.as_ticks()
+        ),
+        ObsEvent::Corrupt { pid, at } => write!(
+            out,
+            "{{\"t\":\"corrupt\",\"pid\":{},\"at\":{}",
+            pid.as_raw(),
             at.as_ticks()
         ),
         ObsEvent::TimerFire { pid, at } => write!(

@@ -101,7 +101,7 @@ impl Sink for RunReport {
             ObsEvent::Deliver { latency, .. } => {
                 self.delivery_latency.record(latency.as_ticks());
             }
-            ObsEvent::Drop { .. } | ObsEvent::TimerFire { .. } => {}
+            ObsEvent::Drop { .. } | ObsEvent::Corrupt { .. } | ObsEvent::TimerFire { .. } => {}
             ObsEvent::SpanStart { name, pid, at } => {
                 self.open_spans.insert((name, pid), at);
             }

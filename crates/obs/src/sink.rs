@@ -76,6 +76,15 @@ pub enum ObsEvent {
         /// Drop instant.
         at: Time,
     },
+    /// A process's state was transiently corrupted in place by the
+    /// corruption adversary (the process keeps running from an arbitrary
+    /// state — the self-stabilization fault model).
+    Corrupt {
+        /// The corrupted entity.
+        pid: ProcessId,
+        /// When.
+        at: Time,
+    },
     /// A timer fired at a live owner.
     TimerFire {
         /// Timer owner.
@@ -115,6 +124,7 @@ impl ObsEvent {
             | ObsEvent::Send { at, .. }
             | ObsEvent::Deliver { at, .. }
             | ObsEvent::Drop { at, .. }
+            | ObsEvent::Corrupt { at, .. }
             | ObsEvent::TimerFire { at, .. }
             | ObsEvent::SpanStart { at, .. }
             | ObsEvent::SpanEnd { at, .. } => *at,
@@ -131,6 +141,7 @@ impl ObsEvent {
             ObsEvent::Send { .. } => "send",
             ObsEvent::Deliver { .. } => "deliver",
             ObsEvent::Drop { .. } => "drop",
+            ObsEvent::Corrupt { .. } => "corrupt",
             ObsEvent::TimerFire { .. } => "timer",
             ObsEvent::SpanStart { .. } => "span-start",
             ObsEvent::SpanEnd { .. } => "span-end",

@@ -18,8 +18,9 @@ use dds_core::spec::one_time_query::{check_outcome, QueryOutcome, ValidityReport
 use dds_core::time::{Interval, Time, TimeDelta};
 use dds_net::graph::Graph;
 use dds_obs::{CriticalPath, Histogram, ObsEvent, ObserverSink, RunReport};
+use dds_sim::corrupt::{Burst, CorruptionAdversary};
 use dds_sim::delay::{DelayModel, LossModel};
-use dds_sim::driver::{BalancedChurn, Growth, NoChurn, PathStretch};
+use dds_sim::driver::{BalancedChurn, Compose, Growth, NoChurn, PathStretch};
 use dds_sim::partition::PartitionDriver;
 use dds_sim::metrics::Metrics;
 use dds_sim::world::{TopologyPolicy, World, WorldBuilder};
@@ -115,6 +116,26 @@ pub enum DriverSpec {
         cut_at: u64,
         /// When the cut heals, if ever (ticks).
         heal_at: Option<u64>,
+    },
+    /// The transient-corruption adversary of the self-stabilization fault
+    /// model: a burst of `actors` random state flips every `every` ticks
+    /// from `start` on, optionally scrambling pending payloads, optionally
+    /// composed with balanced replacement churn (so corruption rides along
+    /// joins and leaves).
+    Corruption {
+        /// First burst instant (ticks).
+        start: u64,
+        /// Burst period (ticks).
+        every: u64,
+        /// Random members whose state is flipped per burst.
+        actors: u8,
+        /// Whether each burst also scrambles every pending payload.
+        scramble: bool,
+        /// Balanced churn rate composed alongside (`0.0` ⇒ corruption
+        /// only).
+        churn_rate: f64,
+        /// Churn window in ticks (ignored when `churn_rate == 0.0`).
+        churn_window: u64,
     },
 }
 
@@ -247,6 +268,34 @@ impl QueryScenario {
                         Box::new(PartitionDriver::transient(cut, Time::from_ticks(h), split_at))
                     }
                     None => Box::new(PartitionDriver::permanent(cut, split_at)),
+                }
+            }
+            DriverSpec::Corruption {
+                start,
+                every,
+                actors,
+                scramble,
+                churn_rate,
+                churn_window,
+            } => {
+                let mut burst = Burst::actors(usize::from(actors));
+                if scramble {
+                    burst = burst.with_scramble();
+                }
+                let adversary = CorruptionAdversary::periodic(
+                    Time::from_ticks(start),
+                    TimeDelta::ticks(every),
+                    burst,
+                );
+                if churn_rate > 0.0 {
+                    let spec = ChurnSpec::rate(churn_rate, TimeDelta::ticks(churn_window))
+                        .expect("scenario churn rate must be valid");
+                    Box::new(Compose::new(
+                        BalancedChurn::new(spec).with_protected(self.initiator()),
+                        adversary,
+                    ))
+                } else {
+                    Box::new(adversary)
                 }
             }
         }
@@ -677,6 +726,8 @@ pub fn fold_sweep(runs: &[QueryRun]) -> SweepRow {
         mean_crit_transit: per_run(crit_transit),
         mean_crit_queueing: per_run(crit_queueing),
         mean_crit_processing: per_run(crit_processing),
+        p50_stabilization: 0,
+        p99_stabilization: 0,
         metrics,
     }
 }
@@ -690,7 +741,7 @@ pub fn success_rate(scenario: &QueryScenario, seeds: impl IntoIterator<Item = u6
 }
 
 /// Aggregated result of a multi-seed sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SweepRow {
     /// Number of runs.
     pub runs: u32,
@@ -720,6 +771,13 @@ pub struct SweepRow {
     pub mean_crit_queueing: f64,
     /// Mean ticks of local work on the critical path, per run.
     pub mean_crit_processing: f64,
+    /// Median ticks-to-legal after a corruption burst. Filled by
+    /// stabilization sweeps (the `stab1` experiment); 0 for query sweeps,
+    /// whose runs carry no legality predicate.
+    pub p50_stabilization: u64,
+    /// 99th-percentile ticks-to-legal after a corruption burst
+    /// (stabilization sweeps only).
+    pub p99_stabilization: u64,
     /// Kernel counters summed over the sweep (peak membership is a max).
     pub metrics: Metrics,
 }
@@ -974,6 +1032,8 @@ mod tests {
             mean_crit_transit: 8.0,
             mean_crit_queueing: 3.0,
             mean_crit_processing: 0.0,
+            p50_stabilization: 0,
+            p99_stabilization: 0,
             metrics: Metrics::default(),
         };
         assert!((row.validity_rate() - 0.7).abs() < 1e-12);

@@ -22,6 +22,9 @@
 //! - [`scd`] — SCD-broadcast (set-constrained delivery) with its derived
 //!   objects: atomic snapshot, counter, and a sequentially consistent
 //!   register, judged by the set-order oracle and the SC checker;
+//! - [`stab`] — self-stabilizing protocols (Dijkstra K-state token
+//!   circulation, purge-based membership views) recovering a legal
+//!   configuration after transient state corruption;
 //! - [`harness`] — the scenario runner that builds a world, runs one query
 //!   and judges it against the interval-validity specification.
 //!
@@ -49,6 +52,7 @@ pub mod membership;
 pub mod obs;
 pub mod register;
 pub mod scd;
+pub mod stab;
 pub mod wave;
 
 pub use harness::{DriverSpec, ProtocolKind, QueryRun, QueryScenario};

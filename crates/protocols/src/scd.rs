@@ -43,7 +43,8 @@ use dds_core::time::{Interval, Time, TimeDelta};
 use dds_net::graph::Graph;
 use dds_sim::actor::{Actor, Context};
 use dds_sim::delay::DelayModel;
-use dds_sim::driver::{BalancedChurn, Growth, NoChurn, PathStretch};
+use dds_sim::corrupt::{Burst, CorruptionAdversary};
+use dds_sim::driver::{BalancedChurn, Compose, Growth, NoChurn, PathStretch};
 use dds_sim::event::TimerId;
 use dds_sim::partition::PartitionDriver;
 use dds_sim::snapshot::{FingerprintMsg, StableHasher};
@@ -1136,6 +1137,34 @@ impl ScdScenario {
                         split_at,
                     )),
                     None => Box::new(PartitionDriver::permanent(cut, split_at)),
+                }
+            }
+            DriverSpec::Corruption {
+                start,
+                every,
+                actors,
+                scramble,
+                churn_rate,
+                churn_window,
+            } => {
+                let mut burst = Burst::actors(usize::from(actors));
+                if scramble {
+                    burst = burst.with_scramble();
+                }
+                let adversary = CorruptionAdversary::periodic(
+                    Time::from_ticks(start),
+                    TimeDelta::ticks(every),
+                    burst,
+                );
+                if churn_rate > 0.0 {
+                    let spec = ChurnSpec::rate(churn_rate, TimeDelta::ticks(churn_window))
+                        .expect("scenario churn rate must be valid");
+                    Box::new(Compose::new(
+                        BalancedChurn::new(spec).with_protected(self.initiator()),
+                        adversary,
+                    ))
+                } else {
+                    Box::new(adversary)
                 }
             }
         }

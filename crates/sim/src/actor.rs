@@ -84,6 +84,23 @@ pub trait Actor<M>: Any {
         let _ = h;
         false
     }
+
+    /// Overwrites this actor's state with arbitrary (adversarially random)
+    /// values drawn from `rng`, returning `true` when supported. The
+    /// default (`false`) leaves the actor untouched — the transient-
+    /// corruption adversary ([`crate::corrupt::CorruptionAdversary`]) then
+    /// skips it and the kernel records no corruption event.
+    ///
+    /// This is the self-stabilization fault model: every reachable *and
+    /// unreachable* local state is a legal post-corruption configuration,
+    /// so implementations should randomize each mutable field from `rng`
+    /// (drawing in a fixed field order keeps runs byte-reproducible).
+    /// Immutable wiring (identities, configuration constants) should be
+    /// left alone — corruption hits volatile state, not code.
+    fn corrupt(&mut self, rng: &mut Rng) -> bool {
+        let _ = rng;
+        false
+    }
 }
 
 /// A buffered effect produced by an actor callback.

@@ -56,6 +56,21 @@ pub enum ChurnAction {
     /// neighbor-up notification). Ignored unless both endpoints are
     /// present, or if the edge already exists.
     RestoreEdge(ProcessId, ProcessId),
+    /// The given member's local state is overwritten with arbitrary values
+    /// drawn from the run RNG — the transient-fault model of
+    /// self-stabilization. The process keeps running (unlike a crash).
+    /// Ignored if the process is absent or its actor does not implement
+    /// [`crate::actor::Actor::corrupt`].
+    CorruptActor(ProcessId),
+    /// A uniformly random member's state is corrupted (same semantics as
+    /// [`ChurnAction::CorruptActor`]).
+    CorruptRandom,
+    /// Every pending message payload in the event queue is scrambled via
+    /// the world's registered corruption hook
+    /// (`WorldBuilder::corrupt_msg`), in canonical `(time, seq)` order so
+    /// the result is identical across queue tiers. A no-op when no hook is
+    /// registered.
+    ScrambleQueue,
 }
 
 /// Declared intent of a driver, used to fill the `*_finite` flags of

@@ -24,6 +24,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use dds_core::process::ProcessId;
+use dds_core::rng::Rng;
 use dds_core::time::Time;
 
 use crate::snapshot::StableHasher;
@@ -382,6 +383,24 @@ impl<M> Calendar<M> {
         self.ring_len = 0;
         self.overflow.clear();
     }
+
+    /// Removes every pending event as [`Scheduled`] triples, keeping the
+    /// cursor (and bucket allocations) where they are. Re-inserting the
+    /// drained events via [`Calendar::schedule`] in `(time, seq)` order
+    /// restores the bucket-FIFO-equals-seq invariant exactly.
+    fn drain_all(&mut self) -> Vec<Scheduled<M>> {
+        let mut out = Vec::with_capacity(self.len());
+        let base = Self::bucket_index(self.cursor) as u64;
+        for i in 0..self.buckets.len() {
+            let tick = self.cursor + (i as u64 + RING_SIZE - base) % RING_SIZE;
+            for (seq, event) in self.buckets[i].drain(..) {
+                out.push(Scheduled { at: Time::from_ticks(tick), seq, event });
+            }
+        }
+        self.ring_len = 0;
+        out.extend(std::mem::take(&mut self.overflow).into_vec());
+        out
+    }
 }
 
 /// Which backing store an [`EventQueue`] uses.
@@ -605,6 +624,38 @@ impl<M> EventQueue<M> {
         h.write_u64(acc);
         h.write_usize(self.len());
         h.write_u64(self.next_seq);
+    }
+
+    /// Rewrites every pending [`Event::Deliver`] payload through `f`,
+    /// visiting events in canonical `(time, seq)` order so RNG-consuming
+    /// damage is byte-identical across queue tiers — the adversary's
+    /// [`crate::driver::ChurnAction::ScrambleQueue`] primitive. Instants,
+    /// seqs, routing fields and the seq counter are untouched: only
+    /// payload bytes change, so the dispatch schedule is preserved and
+    /// corruption perturbs protocol state alone. Returns the number of
+    /// payloads rewritten.
+    pub fn scramble_payloads(&mut self, rng: &mut Rng, f: fn(&mut M, &mut Rng)) -> usize {
+        let mut pending: Vec<Scheduled<M>> = match &mut self.tier {
+            Tier::Calendar(c) => c.drain_all(),
+            Tier::Heap(h) => std::mem::take(h).into_vec(),
+        };
+        pending.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
+        let mut scrambled = 0;
+        for s in &mut pending {
+            if let Event::Deliver { msg, .. } = &mut s.event {
+                f(msg, rng);
+                scrambled += 1;
+            }
+        }
+        match &mut self.tier {
+            Tier::Calendar(c) => {
+                for s in pending {
+                    c.schedule(s.at, s.seq, s.event);
+                }
+            }
+            Tier::Heap(h) => h.extend(pending),
+        }
+        scrambled
     }
 
     /// Drops every pending event and rewinds the clock window and sequence
@@ -894,6 +945,38 @@ mod tests {
         assert_eq!(digest(&q), digest(&fork));
         loop {
             let (a, b) = (q.pop(), fork.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn scramble_is_identical_across_tiers_and_preserves_schedule() {
+        let mut cal: EventQueue<u32> = EventQueue::calendar();
+        let mut heap: EventQueue<u32> = EventQueue::heap();
+        for q in [&mut cal, &mut heap] {
+            q.schedule(t(3), deliver(1, 10));
+            q.schedule(t(2 * RING_SIZE), deliver(2, 20)); // overflow in calendar
+            q.schedule(
+                t(3),
+                Event::Timer { pid: ProcessId::from_raw(5), timer: TimerId(4), cause: 0 },
+            );
+            q.schedule(t(3), deliver(3, 30));
+        }
+        let scramble = |m: &mut u32, rng: &mut Rng| *m = rng.below(1000) as u32;
+        let mut rng_a = Rng::seeded(11);
+        let mut rng_b = Rng::seeded(11);
+        // Only the 3 Deliver payloads are rewritten; the timer is skipped.
+        assert_eq!(cal.scramble_payloads(&mut rng_a, scramble), 3);
+        assert_eq!(heap.scramble_payloads(&mut rng_b, scramble), 3);
+        assert_eq!(rng_a.state_words(), rng_b.state_words());
+        assert_eq!(digest(&cal), digest(&heap));
+        // The dispatch schedule (times, tie order, seq counter) is intact.
+        assert_eq!(cal.next_seq(), 4);
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
             assert_eq!(a, b);
             if a.is_none() {
                 break;

@@ -10,6 +10,8 @@
 //!   [`actor::Context`]);
 //! - [`driver`] — churn drivers realizing each arrival model, including the
 //!   adversaries used in the impossibility experiments;
+//! - [`corrupt`] — the transient-corruption adversary of the
+//!   self-stabilization fault model;
 //! - [`delay`] — message delay/loss models realizing the timing dimension;
 //! - [`event`] — the deterministic event queue;
 //! - [`metrics`] — run counters;
@@ -52,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod corrupt;
 pub mod delay;
 pub mod driver;
 pub mod event;

@@ -21,6 +21,9 @@ pub struct Metrics {
     pub leaves: u64,
     /// Crashes applied.
     pub crashes: u64,
+    /// Transient state corruptions injected (actor-state flips and queue
+    /// scrambles applied by the corruption adversary).
+    pub corruptions: u64,
     /// Largest membership observed.
     pub max_membership: usize,
 }
@@ -46,6 +49,7 @@ impl Metrics {
         self.joins += other.joins;
         self.leaves += other.leaves;
         self.crashes += other.crashes;
+        self.corruptions += other.corruptions;
         self.max_membership = self.max_membership.max(other.max_membership);
     }
 
@@ -54,7 +58,7 @@ impl Metrics {
     /// integers, so the output is byte-stable.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"sends\":{},\"delivers\":{},\"drops\":{},\"timer_fires\":{},\"joins\":{},\"leaves\":{},\"crashes\":{},\"max_membership\":{}}}",
+            "{{\"sends\":{},\"delivers\":{},\"drops\":{},\"timer_fires\":{},\"joins\":{},\"leaves\":{},\"crashes\":{},\"corruptions\":{},\"max_membership\":{}}}",
             self.sends,
             self.delivers,
             self.drops,
@@ -62,6 +66,7 @@ impl Metrics {
             self.joins,
             self.leaves,
             self.crashes,
+            self.corruptions,
             self.max_membership
         )
     }
@@ -71,7 +76,7 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} sends ({} delivered, {} dropped), {} timer fires, {} joins / {} leaves / {} crashes, peak membership {}",
+            "{} sends ({} delivered, {} dropped), {} timer fires, {} joins / {} leaves / {} crashes, {} corruptions, peak membership {}",
             self.sends,
             self.delivers,
             self.drops,
@@ -79,6 +84,7 @@ impl fmt::Display for Metrics {
             self.joins,
             self.leaves,
             self.crashes,
+            self.corruptions,
             self.max_membership
         )
     }

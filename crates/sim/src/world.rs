@@ -88,6 +88,7 @@ pub struct WorldBuilder<M> {
     value: ValueFn,
     sink: Option<Box<dyn Sink>>,
     schedule_policy: Option<Box<dyn SchedulePolicy>>,
+    corrupt_msg: Option<fn(&mut M, &mut Rng)>,
 }
 
 impl<M> fmt::Debug for WorldBuilder<M> {
@@ -116,6 +117,7 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             value: Box::new(|_, rng| rng.unit_f64() * 100.0),
             sink: None,
             schedule_policy: None,
+            corrupt_msg: None,
         }
     }
 
@@ -179,6 +181,18 @@ impl<M: Clone + 'static> WorldBuilder<M> {
         self
     }
 
+    /// Registers the payload-corruption hook backing
+    /// [`crate::driver::ChurnAction::ScrambleQueue`]: when the corruption
+    /// adversary scrambles the queue, every pending message payload is
+    /// rewritten through `f` in canonical `(time, seq)` order. Like the
+    /// actor factory, the hook is run configuration: it survives
+    /// [`World::reset`] and is shared with forks. Without it (the
+    /// default), queue scrambles are no-ops.
+    pub fn corrupt_msg(mut self, f: fn(&mut M, &mut Rng)) -> Self {
+        self.corrupt_msg = Some(f);
+        self
+    }
+
     /// Installs a [`SchedulePolicy`] controlling the order of same-instant
     /// events. With no policy installed (the default) the kernel pops in
     /// `(time, seq)` order on the allocation-free fast path; the policy
@@ -218,6 +232,7 @@ impl<M: Clone + 'static> WorldBuilder<M> {
             effect_buf: Vec::new(),
             sink: self.sink,
             schedule_policy: self.schedule_policy,
+            corrupt_msg: self.corrupt_msg,
             ready_buf: Vec::new(),
             epoch: 0,
             next_obs_id: 1,
@@ -323,6 +338,9 @@ pub struct World<M> {
     /// Optional same-instant ordering policy; `None` (the default) pops
     /// in `(time, seq)` order with no ready-set materialization.
     schedule_policy: Option<Box<dyn SchedulePolicy>>,
+    /// Payload-corruption hook for queue scrambles — run configuration
+    /// like `spawn`, kept across [`World::reset`] and carried into forks.
+    corrupt_msg: Option<fn(&mut M, &mut Rng)>,
     /// Reusable ready-set buffer for the policy path.
     ready_buf: Vec<ReadySummary>,
     /// Mutation epoch: bumped on every membership or topology change, so
@@ -664,6 +682,7 @@ impl<M: Clone + 'static> World<M> {
             effect_buf: Vec::new(),
             sink: None,
             schedule_policy: None,
+            corrupt_msg: self.corrupt_msg,
             ready_buf: Vec::new(),
             epoch: self.epoch,
             // Causal ids continue from the parent so the fork's future
@@ -859,6 +878,45 @@ impl<M: Clone + 'static> World<M> {
                     self.callbacks.push_back((0, Callback::NeighborUp { pid: b, peer: a }));
                 }
             }
+            ChurnAction::CorruptActor(pid) => self.corrupt_actor(pid),
+            ChurnAction::CorruptRandom => {
+                if let Some(&pid) = self.rng.choose(&self.members) {
+                    self.corrupt_actor(pid);
+                }
+            }
+            ChurnAction::ScrambleQueue => {
+                if let Some(f) = self.corrupt_msg {
+                    let n = self.queue.scramble_payloads(&mut self.rng, f);
+                    if n > 0 {
+                        self.epoch += 1;
+                        self.metrics.corruptions += n as u64;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Overwrites a present process's actor state via its
+    /// [`Actor::corrupt`] hook — the transient-fault injection of the
+    /// self-stabilization model. A no-op for absent processes and actors
+    /// that opt out; otherwise the mutation epoch bumps (state changed
+    /// outside normal dispatch) and a `Corrupt` event is traced and
+    /// emitted so recorders can pin the injection instant.
+    fn corrupt_actor(&mut self, pid: ProcessId) {
+        if !self.graph.contains(pid) {
+            return;
+        }
+        let Some(mut actor) = self.actors.take(pid) else {
+            return;
+        };
+        let corrupted = actor.corrupt(&mut self.rng);
+        self.actors.insert(pid, actor);
+        if corrupted {
+            self.epoch += 1;
+            self.metrics.corruptions += 1;
+            let causal = Causality { id: self.fresh_id(), cause: 0 };
+            self.trace.push_caused(TraceEvent::Corrupt { pid, at: self.now }, causal);
+            self.emit(ObsEvent::Corrupt { pid, at: self.now }, causal);
         }
     }
 
@@ -1468,6 +1526,135 @@ mod tests {
             "index-0 policy must reproduce the default order"
         );
         assert_eq!(order_run(Some(Box::new(Reverse))), vec![30, 20, 10]);
+    }
+
+    /// A [`ForkEcho`] whose counter can be overwritten by the corruption
+    /// adversary.
+    #[derive(Clone)]
+    struct CorruptibleEcho {
+        received: u32,
+    }
+
+    impl Actor<u32> for CorruptibleEcho {
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, msg: u32) {
+            self.received += 1;
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+
+        fn fork(&self) -> Option<Box<dyn Actor<u32>>> {
+            Some(Box::new(self.clone()))
+        }
+
+        fn fingerprint(&self, h: &mut StableHasher) -> bool {
+            h.write_u32(self.received);
+            true
+        }
+
+        fn corrupt(&mut self, rng: &mut Rng) -> bool {
+            self.received = rng.below(1 << 20) as u32;
+            true
+        }
+    }
+
+    #[test]
+    fn corrupt_actor_flips_state_and_is_traced() {
+        let p2 = ProcessId::from_raw(2);
+        let mut w: World<u32> = WorldBuilder::new(31)
+            .initial_graph(generate::ring(4))
+            .driver(Scripted::new(vec![(
+                Time::from_ticks(3),
+                ChurnAction::CorruptActor(p2),
+            )]))
+            .spawn(|_| Box::new(CorruptibleEcho { received: 0 }))
+            .build();
+        let epoch_before = w.epoch();
+        w.run_to_quiescence();
+        assert_eq!(w.metrics().corruptions, 1);
+        assert!(w.epoch() > epoch_before, "corruption bumps the epoch");
+        let a: &CorruptibleEcho = w.actor(p2).unwrap();
+        assert_ne!(a.received, 0, "state was overwritten (seed 31 draw is nonzero)");
+        assert!(
+            w.trace()
+                .events()
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Corrupt { pid, .. } if *pid == p2)),
+            "the injection instant is traced"
+        );
+        // Membership is untouched: corruption is not a crash.
+        assert_eq!(w.members().len(), 4);
+    }
+
+    #[test]
+    fn corruption_is_a_noop_for_opted_out_actors() {
+        let mut w: World<u32> = WorldBuilder::new(32)
+            .initial_graph(generate::ring(4))
+            .driver(Scripted::new(vec![
+                (Time::from_ticks(3), ChurnAction::CorruptRandom),
+                (Time::from_ticks(4), ChurnAction::ScrambleQueue),
+            ]))
+            .spawn(|_| Box::new(Echo { received: 0 }))
+            .build();
+        w.run_to_quiescence();
+        assert_eq!(w.metrics().corruptions, 0, "Echo has no corrupt hook");
+        assert!(w.trace().events().iter().all(|e| !matches!(e, TraceEvent::Corrupt { .. })));
+    }
+
+    #[test]
+    fn scramble_queue_rewrites_pending_payloads() {
+        let p0 = ProcessId::from_raw(0);
+        let build = |scramble: bool| {
+            let script = if scramble {
+                vec![(Time::from_ticks(2), ChurnAction::ScrambleQueue)]
+            } else {
+                Vec::new()
+            };
+            let mut w: World<u32> = WorldBuilder::new(33)
+                .initial_graph(generate::ring(3))
+                .driver(Scripted::new(script))
+                .spawn(|_| Box::new(OrderLog { seen: Vec::new() }))
+                .corrupt_msg(|m, rng| *m = rng.below(1000) as u32)
+                .build();
+            // In flight across the scramble instant: delivery at t=5.
+            w.inject(Time::from_ticks(5), p0, 424242);
+            w.run_to_quiescence();
+            (w.actor::<OrderLog>(p0).unwrap().seen.clone(), w.metrics().corruptions)
+        };
+        let (clean, zero) = build(false);
+        assert_eq!(clean, vec![424242]);
+        assert_eq!(zero, 0);
+        let (scrambled, count) = build(true);
+        assert_eq!(count, 1);
+        assert_eq!(scrambled.len(), 1, "the schedule is preserved");
+        assert_ne!(scrambled, clean, "the payload is not (seed 33 draw differs)");
+    }
+
+    #[test]
+    fn corrupted_forks_stay_byte_identical() {
+        let fp = crate::snapshot::fingerprint_msg::<u32>;
+        let adversary = || {
+            crate::corrupt::CorruptionAdversary::scripted(vec![(
+                Time::from_ticks(4),
+                crate::corrupt::Burst::actors(2).with_scramble(),
+            )])
+        };
+        let mut w: World<u32> = WorldBuilder::new(34)
+            .initial_graph(generate::ring(4))
+            .driver(adversary())
+            .spawn(|_| Box::new(CorruptibleEcho { received: 0 }))
+            .corrupt_msg(|m, rng| *m = rng.below(1000) as u32)
+            .build();
+        w.inject(Time::from_ticks(1), ProcessId::from_raw(0), 30);
+        for _ in 0..3 {
+            assert!(w.step());
+        }
+        let mut f = w.try_fork().expect("adversary and actors fork");
+        w.run_until(Time::from_ticks(40));
+        f.run_until(Time::from_ticks(40));
+        assert_eq!(w.fingerprint(fp), f.fingerprint(fp));
+        assert_eq!(w.metrics().corruptions, f.metrics().corruptions);
+        assert!(w.metrics().corruptions >= 2, "both actor flips landed");
     }
 
     #[test]
